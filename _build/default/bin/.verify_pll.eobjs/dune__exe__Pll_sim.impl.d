@@ -1,0 +1,1 @@
+bin/pll_sim.ml: Arg Array Cmd Cmdliner Float Format Hybrid List Pll Printf String Term

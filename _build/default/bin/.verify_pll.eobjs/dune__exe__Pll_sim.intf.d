@@ -1,0 +1,1 @@
+bin/pll_sim.mli:

@@ -1,0 +1,1 @@
+bin/sos_check.ml: Arg Cmd Cmdliner Format List Poly Sos Term

@@ -1,0 +1,1 @@
+bin/sos_check.mli:

@@ -1,0 +1,1 @@
+bin/verify_pll.ml: Arg Certificates Cmd Cmdliner Format Logs Logs_fmt Option Pll Pll_core Term

@@ -1,0 +1,80 @@
+(* Check whether a polynomial is a sum of squares and print a witness
+   decomposition.
+
+     dune exec bin/sos_check.exe -- --nvars 2 "x0^2 - 2*x0*x1 + x1^2 + 0.5"
+     dune exec bin/sos_check.exe -- --nvars 2 "x0*x1"            # not SOS
+     dune exec bin/sos_check.exe -- --nvars 2 --on "1 - x0^2" "x0 + 1"
+                                     # nonnegativity on a semialgebraic set *)
+
+open Cmdliner
+
+let run nvars on_constraints expr =
+  let parse s =
+    try Ok (Poly.of_string nvars s)
+    with Invalid_argument m -> Error m
+  in
+  match parse expr with
+  | Error m ->
+      Format.printf "parse error: %s@." m;
+      1
+  | Ok p -> (
+      let domain_result =
+        List.fold_left
+          (fun acc g ->
+            match (acc, parse g) with
+            | Error e, _ -> Error e
+            | _, Error e -> Error e
+            | Ok gs, Ok g -> Ok (g :: gs))
+          (Ok []) on_constraints
+      in
+      match domain_result with
+      | Error m ->
+          Format.printf "parse error in --on constraint: %s@." m;
+          1
+      | Ok domain ->
+          let prob = Sos.create ~nvars in
+          Sos.add_nonneg_on prob ~domain (Sos.Ppoly.of_poly p);
+          let sol = Sos.solve prob in
+          if not sol.Sos.certified then begin
+            Format.printf "NOT certified%s@."
+              (if domain = [] then " as a sum of squares"
+               else " as nonnegative on the given set");
+            1
+          end
+          else begin
+            if domain = [] then begin
+              Format.printf "SOS: yes@.";
+              let parts = Sos.sos_witness prob sol 0 in
+              Format.printf "witness: p = ";
+              List.iteri
+                (fun i q ->
+                  if i > 0 then Format.printf " + ";
+                  Format.printf "(%s)^2" (Poly.to_string (Poly.chop ~tol:1e-7 q)))
+                parts;
+              Format.printf "@.";
+              let reconstructed = Poly.sum nvars (List.map (fun q -> Poly.mul q q) parts) in
+              Format.printf "witness residual: %.2e@."
+                (Poly.max_coeff (Poly.sub reconstructed p))
+            end
+            else
+              Format.printf
+                "certified nonnegative on the set (S-procedure, Gram min eig %.2e, residual \
+                 %.2e)@."
+                sol.Sos.min_gram_eig sol.Sos.max_eq_residual;
+            0
+          end)
+
+let nvars =
+  Arg.(value & opt int 2 & info [ "nvars"; "n" ] ~docv:"N" ~doc:"Number of variables x0..x(N-1).")
+
+let on_constraints =
+  Arg.(value & opt_all string [] & info [ "on" ] ~docv:"G"
+         ~doc:"Restrict to the semialgebraic set {x | G(x) >= 0} (repeatable).")
+
+let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"POLY")
+
+let cmd =
+  let doc = "check sum-of-squares / semialgebraic nonnegativity of a polynomial" in
+  Cmd.v (Cmd.info "sos_check" ~doc) Term.(const run $ nvars $ on_constraints $ expr)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,88 @@
+(* Command-line driver for the inevitability verification pipeline.
+
+     dune exec bin/verify_pll.exe -- --order third --degree 4
+     dune exec bin/verify_pll.exe -- --order fourth --validate
+     dune exec bin/verify_pll.exe -- --order third --robust -v *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let run order degree robust advect_iters validate verbose =
+  setup_logs verbose;
+  let raw, default_degree =
+    match order with
+    | `Third -> (Pll.table1_third, 6)
+    | `Fourth -> (Pll.table1_fourth, 4)
+  in
+  let degree = Option.value degree ~default:default_degree in
+  let s = Pll.scale raw in
+  Format.printf "%a@.@." Pll.pp_scaled s;
+  let cert_config =
+    {
+      (Certificates.default_config s.Pll.order) with
+      Certificates.degree;
+      robust_vertices = robust;
+    }
+  in
+  match Pll_core.Inevitability.verify ~cert_config ~max_advect_iter:advect_iters s with
+  | Error e ->
+      Format.printf "verification FAILED: %s@." e;
+      1
+  | Ok report ->
+      Format.printf "%a@.@." Pll_core.Inevitability.pp_report report;
+      let ok = report.Pll_core.Inevitability.verified in
+      let sim_ok =
+        if validate then begin
+          let v =
+            Certificates.validate_by_simulation ~trials:25 s
+              report.Pll_core.Inevitability.invariant
+          in
+          Format.printf "simulation validation of X1: %b@." v;
+          v
+        end
+        else true
+      in
+      if ok && sim_ok then begin
+        Format.printf "inevitability of phase-locking: VERIFIED@.";
+        0
+      end
+      else begin
+        Format.printf "inevitability of phase-locking: NOT established@.";
+        1
+      end
+
+let order =
+  let order_conv = Arg.enum [ ("third", `Third); ("fourth", `Fourth) ] in
+  Arg.(value & opt order_conv `Third & info [ "order"; "o" ] ~docv:"ORDER"
+         ~doc:"PLL order to verify: $(b,third) or $(b,fourth).")
+
+let degree =
+  Arg.(value & opt (some int) None & info [ "degree"; "d" ] ~docv:"DEG"
+         ~doc:"Lyapunov certificate degree (default: 6 for third order, 4 for fourth, \
+               as in the paper).")
+
+let robust =
+  Arg.(value & flag & info [ "robust" ]
+         ~doc:"Enforce the Lie-derivative decrease at every vertex of the Table-1 \
+               coefficient box instead of the nominal point only.")
+
+let advect_iters =
+  Arg.(value & opt int 25 & info [ "advect-iters" ] ~docv:"N"
+         ~doc:"Maximum bounded-advection iterations for property P2.")
+
+let validate =
+  Arg.(value & flag & info [ "validate" ]
+         ~doc:"Monte-Carlo cross-check: simulate trajectories sampled in X1 and verify \
+               certificate decrease and locking.")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log solver progress.")
+
+let cmd =
+  let doc = "verify inevitability of phase-locking in a charge-pump PLL via SOS programming" in
+  let info = Cmd.info "verify_pll" ~doc in
+  Cmd.v info Term.(const run $ order $ degree $ robust $ advect_iters $ validate $ verbose)
+
+let () = exit (Cmd.eval' cmd)

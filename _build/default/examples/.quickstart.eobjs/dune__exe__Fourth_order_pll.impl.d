@@ -1,0 +1,1 @@
+examples/fourth_order_pll.ml: Advect Certificates Format List Pll Pll_core Poly

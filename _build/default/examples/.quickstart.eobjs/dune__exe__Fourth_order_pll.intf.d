@@ -1,0 +1,1 @@
+examples/fourth_order_pll.mli:

@@ -1,0 +1,1 @@
+examples/lock_retention.ml: Barrier Certificates Format Interval Pll

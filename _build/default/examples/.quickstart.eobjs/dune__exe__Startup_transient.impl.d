@@ -1,0 +1,1 @@
+examples/startup_transient.ml: Array Float Format Hybrid List Pll Printf String Sys

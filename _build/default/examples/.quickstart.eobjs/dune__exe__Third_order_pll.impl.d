@@ -1,0 +1,1 @@
+examples/third_order_pll.ml: Array Certificates Format List Pll Pll_core Sys

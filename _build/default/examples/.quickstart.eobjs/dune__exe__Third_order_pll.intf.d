@@ -1,0 +1,1 @@
+examples/third_order_pll.mli:

@@ -1,0 +1,1 @@
+examples/time_to_lock.ml: Array Certificates Float Format Hybrid List Pll Poly Random

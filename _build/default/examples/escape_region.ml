@@ -1,0 +1,50 @@
+(* Escape certificates outside the PLL context (Proposition 1 is fully
+   generic): prove that trajectories of a constant-drift planar system
+   must leave a compact annular region in finite time, and that no such
+   certificate exists for a region containing a stable equilibrium.
+
+   Run with:  dune exec examples/escape_region.exe *)
+
+let () =
+  let n = 2 in
+  let x = Poly.var n 0 and y = Poly.var n 1 in
+  let c v = Poly.const n v in
+
+  (* System 1: pure drift dx = 1, dy = 0. Any compact set is escaped;
+     E = -x works and the SOS search must find some certificate. *)
+  let drift = [| Poly.one n; Poly.zero n |] in
+  let disc = Poly.sub (c 1.0) (Poly.add (Poly.mul x x) (Poly.mul y y)) in
+  (match Certificates.find_escape ~deg:2 ~eps:0.1 ~nvars:n ~flow:drift ~domain:[ disc ] () with
+  | Ok (e, stats) ->
+      Format.printf "drift system: escape certificate on the unit disc:@.  E = %s@."
+        (Poly.to_string (Poly.chop ~tol:1e-6 e));
+      Format.printf "  found in %.2f s@." stats.Certificates.time_s
+  | Error msg ->
+      Format.printf "drift system: FAILED (%s)@." msg;
+      exit 1);
+
+  (* System 2: a stable focus dx = -x + y, dy = -x - y. The unit disc
+     contains the equilibrium, so trajectories never leave: no escape
+     certificate can exist and the search must fail. *)
+  let focus = [| Poly.sub y x; Poly.sub (Poly.neg x) y |] in
+  (match Certificates.find_escape ~deg:4 ~eps:0.1 ~nvars:n ~flow:focus ~domain:[ disc ] () with
+  | Ok _ ->
+      Format.printf "stable focus: found an escape certificate — UNSOUND!@.";
+      exit 1
+  | Error _ -> Format.printf "stable focus: correctly no escape certificate on the disc@.");
+
+  (* System 2b: but the annulus 1/4 <= |x|^2 <= 1 around the focus IS
+     escaped (trajectories spiral into the inner disc). *)
+  let annulus =
+    [
+      disc;
+      Poly.sub (Poly.add (Poly.mul x x) (Poly.mul y y)) (c 0.25);
+    ]
+  in
+  match Certificates.find_escape ~deg:4 ~eps:0.01 ~nvars:n ~flow:focus ~domain:annulus () with
+  | Ok (e, _) ->
+      Format.printf "stable focus: annulus is escaped:@.  E = %s@."
+        (Poly.to_string (Poly.chop ~tol:1e-6 e))
+  | Error msg ->
+      Format.printf "stable focus annulus: FAILED (%s)@." msg;
+      exit 1

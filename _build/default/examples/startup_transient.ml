@@ -1,0 +1,66 @@
+(* Start-up transients — the paper's motivating scenario (§1: "for
+   certain initial states of voltages, the circuits do not converge to
+   the desired behaviour").
+
+   We sweep a grid of worst-case start-up states (discharged/overcharged
+   loop filter, arbitrary initial phase error), simulate the hybrid CP
+   PLL to lock, and report the lock time and the number of PFD mode
+   switches for each — the hundreds-of-transitions behaviour that makes
+   naive reachability expensive.
+
+   Run with:  dune exec examples/startup_transient.exe [third|fourth] *)
+
+let () =
+  let order = if Array.length Sys.argv > 1 then Sys.argv.(1) else "third" in
+  let s, dt, t_max =
+    match order with
+    | "fourth" -> (Pll.scale Pll.table1_fourth, 2e-4, 400.0)
+    | _ -> (Pll.scale Pll.table1_third, 1e-3, 150.0)
+  in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  let theta = Pll.theta_index s in
+  let lock_time arc =
+    (* First time after which the trajectory stays locked. *)
+    let rec last_unlock acc = function
+      | [] -> acc
+      | (st : Hybrid.step) :: rest ->
+          last_unlock (if Pll.in_lock s st.Hybrid.state then acc else st.Hybrid.t) rest
+    in
+    last_unlock 0.0 arc
+  in
+  Format.printf "%s-order CP PLL start-up sweep (times in scaled units of %g s):@.@." order
+    s.Pll.t0;
+  Format.printf "  %-28s %-10s %-8s %-8s@." "initial state" "lock time" "switches" "locked";
+  let grid = [ -0.9; 0.0; 0.9 ] in
+  let n = s.Pll.nvars in
+  let total = ref 0 and locked = ref 0 and worst_t = ref 0.0 and worst_j = ref 0 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun th_frac ->
+          let x0 =
+            Array.init n (fun i ->
+                if i = theta then th_frac *. s.Pll.theta_max else w *. s.Pll.w_max)
+          in
+          let th = x0.(theta) in
+          let m =
+            if Float.abs th <= s.Pll.theta_on then Pll.off
+            else if th > 0.0 then Pll.up
+            else Pll.down
+          in
+          let r = Hybrid.simulate ~dt sys ~mode0:m ~x0 ~t_max in
+          let tl = lock_time r.Hybrid.arc in
+          let ok = Pll.in_lock s r.Hybrid.final.Hybrid.state in
+          incr total;
+          if ok then incr locked;
+          if tl > !worst_t then worst_t := tl;
+          if r.Hybrid.jumps > !worst_j then worst_j := r.Hybrid.jumps;
+          let desc =
+            String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.2f") x0))
+          in
+          Format.printf "  [%-26s] %-10.2f %-8d %-8b@." desc tl r.Hybrid.jumps ok)
+        grid)
+    grid;
+  Format.printf "@.locked %d/%d, worst lock time %.2f (= %.3g s), worst switch count %d@."
+    !locked !total !worst_t (!worst_t *. s.Pll.t0) !worst_j;
+  if !locked <> !total then exit 1

@@ -1,0 +1,38 @@
+(* Verify inevitability of phase-locking for the third-order CP PLL of
+   the paper's Table 1 — the full two-pronged pipeline:
+
+     P1: multiple Lyapunov certificates + maximized level sets (X1)
+     P2: bounded advection of the outer set X2 into X1
+
+   By default this uses degree-4 certificates (seconds); pass `6` as the
+   first argument for the paper's degree-6 run (minutes).
+
+   Run with:  dune exec examples/third_order_pll.exe [degree] *)
+
+let () =
+  let degree = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let s = Pll.scale Pll.table1_third in
+  Format.printf "%a@.@." Pll.pp_scaled s;
+  let cert_config = { (Certificates.default_config Pll.Third) with Certificates.degree } in
+  match Pll_core.Inevitability.verify ~cert_config s with
+  | Error e ->
+      Format.printf "verification failed: %s@." e;
+      exit 1
+  | Ok report ->
+      Format.printf "%a@.@." Pll_core.Inevitability.pp_report report;
+      (* Show the attractive-invariant boundary on the (v1, v2) plane
+         (the left panel of the paper's Fig. 2), in physical volts. *)
+      let v_off = report.Pll_core.Inevitability.invariant.Certificates.cert.Certificates.vs.(Pll.off) in
+      let beta = report.Pll_core.Inevitability.invariant.Certificates.beta in
+      let pts = Certificates.level_curve v_off ~beta ~plane:(0, 1) ~nvars:3 ~n:16 in
+      Format.printf "X1 boundary on (v1, v2), volts:@.";
+      List.iter
+        (fun (a, b) -> Format.printf "  % .3f  % .3f@." (a *. s.Pll.v0) (b *. s.Pll.v0))
+        pts;
+      (* Monte-Carlo soundness check of the certificate. *)
+      let valid =
+        Certificates.validate_by_simulation ~trials:25 s
+          report.Pll_core.Inevitability.invariant
+      in
+      Format.printf "@.simulation validation of X1: %b@." valid;
+      if not (report.Pll_core.Inevitability.verified && valid) then exit 1

@@ -1,0 +1,386 @@
+module Ppoly = Sos.Ppoly
+
+let src = Logs.Src.create "certificates" ~doc:"Lyapunov / escape certificate search"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  degree : int;
+  eps_pos : float;
+  eps_decr : float;
+  robust_vertices : bool;
+  sdp_params : Sdp.params;
+}
+
+let default_config order =
+  {
+    degree = (match order with Pll.Third -> 6 | Pll.Fourth -> 4);
+    eps_pos = 1e-2;
+    eps_decr = 1e-3;
+    robust_vertices = false;
+    sdp_params = Sdp.default_params;
+  }
+
+type stats = {
+  time_s : float;
+  sdp_iterations : int;
+  n_constraints : int;
+  n_gram_blocks : int;
+  min_gram_eig : float;
+  max_residual : float;
+}
+
+type t = { vs : Poly.t array; cfg : config; solve_stats : stats }
+
+let norm2_poly n =
+  Poly.sum n (List.init n (fun i -> Poly.mul (Poly.var n i) (Poly.var n i)))
+
+let stats_of prob (sol : Sos.solution) time_s =
+  {
+    time_s;
+    sdp_iterations = sol.Sos.sdp.Sdp.iterations;
+    n_constraints = Sos.n_equalities prob;
+    n_gram_blocks = Sos.n_gram_blocks prob;
+    min_gram_eig = sol.Sos.min_gram_eig;
+    max_residual = sol.Sos.max_eq_residual;
+  }
+
+let find_multi_lyapunov ?config (s : Pll.scaled) =
+  let cfg = match config with Some c -> c | None -> default_config s.Pll.order in
+  let n = s.Pll.nvars in
+  let t_start = Sys.time () in
+  let prob = Sos.create ~nvars:n in
+  let vs = Array.init Pll.n_modes (fun _ -> Sos.fresh_poly prob ~deg:cfg.degree ~min_deg:2) in
+  let nrm = norm2_poly n in
+  let points =
+    if cfg.robust_vertices then Pll.vertices s else [ Pll.nominal s ]
+  in
+  for m = 0 to Pll.n_modes - 1 do
+    let domain = Pll.mode_domain s m in
+    (* (a) positivity of V_m on its flow set *)
+    Sos.add_nonneg_on prob ~domain
+      (Ppoly.sub vs.(m) (Ppoly.of_poly (Poly.scale cfg.eps_pos nrm)));
+    (* (b) decrease of V_m along the flow, for each coefficient point *)
+    List.iter
+      (fun pt ->
+        let f = Pll.flow s pt m in
+        Sos.add_nonneg_on prob ~domain
+          (Ppoly.sub
+             (Ppoly.neg (Ppoly.lie_derivative vs.(m) f))
+             (Ppoly.of_poly (Poly.scale cfg.eps_decr nrm))))
+      points
+  done;
+  (* (c) non-increase across each (identity-reset) switch. The jump
+     surfaces are the hyperplanes θ = ±θ_on, so instead of a free
+     equality multiplier we substitute θ and state the condition on the
+     lower-dimensional slice — exact, and far better conditioned. *)
+  let theta = Pll.theta_index s in
+  List.iter
+    (fun (src_m, dst_m, h, dir) ->
+      (* Recover the surface value θ* from h = θ − θ* (h is monic in θ). *)
+      let theta_star = -.Poly.eval h (Array.make n 0.0) in
+      let restrict q = Poly.subst q (Array.init n (fun i -> if i = theta then Poly.const n theta_star else Poly.var n i)) in
+      let box = List.map restrict (Pll.containment_constraints s src_m) in
+      let dir = List.map restrict dir in
+      Sos.add_nonneg_on prob ~domain:(dir @ box)
+        (Ppoly.fix_var theta theta_star (Ppoly.sub vs.(src_m) vs.(dst_m))))
+    (Pll.switching_surfaces s);
+  Log.info (fun k ->
+      k "multi-Lyapunov search: deg %d, %d equalities, %d gram blocks" cfg.degree
+        (Sos.n_equalities prob) (Sos.n_gram_blocks prob));
+  let sol = Sos.solve ~params:cfg.sdp_params prob in
+  let time_s = Sys.time () -. t_start in
+  if not sol.Sos.certified then
+    Error
+      (Printf.sprintf
+         "multi-Lyapunov SOS program not certified (feasible=%b, min gram eig %.2e, \
+          max residual %.2e) — try a higher degree"
+         sol.Sos.feasible sol.Sos.min_gram_eig sol.Sos.max_eq_residual)
+  else begin
+    let values = Array.map (fun v -> Poly.chop ~tol:1e-9 (Sos.value sol v)) vs in
+    Ok { vs = values; cfg; solve_stats = stats_of prob sol time_s }
+  end
+
+(* {V_q <= beta} ∩ slab_q must keep a strict margin inside every
+   containment constraint of mode q. *)
+let check_level ?(mult_deg = 2) (s : Pll.scaled) cert beta =
+  let mult_deg = Some mult_deg in
+  let margin = 1e-3 in
+  let ok = ref true in
+  (* Cheap numeric prefilter: a sampled counterexample refutes the level
+     without touching the SDP. *)
+  let n = s.Pll.nvars in
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 4000 do
+    if !ok then begin
+      let x =
+        Array.init n (fun i ->
+            let b =
+              if i = Pll.theta_index s then s.Pll.theta_max else 1.3 *. s.Pll.w_max
+            in
+            (Random.State.float rng 2.0 -. 1.0) *. b)
+      in
+      for m = 0 to Pll.n_modes - 1 do
+        if
+          Poly.eval cert.vs.(m) x <= beta
+          && List.for_all (fun g -> Poly.eval g x >= 0.0)
+               (match Pll.mode_domain s m with
+               | theta_slab :: _ -> [ theta_slab ]
+               | [] -> [])
+          && List.exists (fun g -> Poly.eval g x < margin) (Pll.containment_constraints s m)
+        then ok := false
+      done
+    end
+  done;
+  for m = 0 to Pll.n_modes - 1 do
+    if !ok then begin
+      let v = cert.vs.(m) in
+      let n = Poly.nvars v in
+      let sublevel = Poly.sub (Poly.const n beta) v (* >= 0 inside *) in
+      let slab = Pll.mode_domain s m in
+      List.iter
+        (fun g ->
+          if !ok then begin
+            let prob = Sos.create ~nvars:n in
+            let target =
+              Ppoly.of_poly (Poly.sub g (Poly.const n margin))
+            in
+            Sos.add_nonneg_on ?mult_deg prob ~domain:(sublevel :: slab) target;
+            let sol = Sos.solve prob in
+            if not sol.Sos.certified then ok := false
+          end)
+        (Pll.containment_constraints s m)
+    end
+  done;
+  !ok
+
+let maximize_level ?(bisect_steps = 20) ?(beta_hi = 2000.0) (s : Pll.scaled) cert =
+  let t_start = Sys.time () in
+  let lo = ref 0.0 and hi = ref beta_hi in
+  (* Grow hi if it is certifiable outright? beta_hi is assumed infeasible. *)
+  if check_level s cert !hi then lo := !hi
+  else
+    for _ = 1 to bisect_steps do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if check_level s cert mid then lo := mid else hi := mid
+    done;
+  let time_s = Sys.time () -. t_start in
+  ( !lo,
+    {
+      time_s;
+      sdp_iterations = 0;
+      n_constraints = 0;
+      n_gram_blocks = 0;
+      min_gram_eig = 0.0;
+      max_residual = 0.0;
+    } )
+
+type attractive_invariant = { cert : t; beta : float; level_stats : stats }
+
+let attractive_invariant ?config ?bisect_steps (s : Pll.scaled) =
+  match find_multi_lyapunov ?config s with
+  | Error e -> Error e
+  | Ok cert ->
+      let beta, level_stats = maximize_level ?bisect_steps s cert in
+      if beta <= 0.0 then Error "level maximization failed: no positive certified level"
+      else Ok { cert; beta; level_stats }
+
+let member (s : Pll.scaled) ai x =
+  let in_slab m =
+    List.for_all (fun g -> Poly.eval g x >= 0.0) (Pll.mode_domain s m)
+  in
+  let ok = ref false in
+  for m = 0 to Pll.n_modes - 1 do
+    if in_slab m && Poly.eval ai.cert.vs.(m) x <= ai.beta then ok := true
+  done;
+  !ok
+
+let upper_bound_on_set ?(extra_domain = []) (s : Pll.scaled) cert ~set =
+  let n = s.Pll.nvars in
+  let bound = ref 0.0 in
+  let failed = ref None in
+  for m = 0 to Pll.n_modes - 1 do
+    if !failed = None then begin
+      let domain = (Poly.neg set :: extra_domain) @ Pll.mode_domain s m in
+      (* When the set misses this mode's domain entirely, the bound over
+         it is vacuous — certified by an SOS emptiness certificate
+         (−1 >= 0 on the region is provable iff the region is empty). *)
+      let budget = { Sdp.default_params with Sdp.max_iter = 60 } in
+      let empty =
+        let prob = Sos.create ~nvars:n in
+        Sos.add_nonneg_on ~mult_deg:2 prob ~domain
+          (Ppoly.of_poly (Poly.const n (-1.0)));
+        (Sos.solve ~params:budget prob).Sos.certified
+      in
+      if not empty then begin
+        let prob = Sos.create ~nvars:n in
+        let u = Sos.fresh_free prob in
+        (* u - V_m >= 0 on {set <= 0} ∩ C_m (∩ extra_domain) *)
+        Sos.add_nonneg_on ~mult_deg:2 prob ~domain
+          (Ppoly.sub (Ppoly.scale_expr u (Poly.one n)) (Ppoly.of_poly cert.vs.(m)));
+        Sos.maximize prob (Sos.Lexpr.neg u);
+        let sol = Sos.solve ~params:budget prob in
+        if sol.Sos.certified then begin
+          let v = Sos.Lexpr.eval sol.Sos.assign u in
+          if v > !bound then bound := v
+        end
+        else failed := Some m
+      end
+    end
+  done;
+  match !failed with
+  | Some m -> Error (Printf.sprintf "upper_bound_on_set: mode %d bound not certified" m)
+  | None -> Ok (!bound *. 1.001)
+
+let time_to_lock_bound ?(samples = 200) (s : Pll.scaled) ai ~from_level =
+  let beta = ai.beta in
+  if from_level <= beta then 0.0
+  else begin
+    let eps = ai.cert.cfg.eps_decr in
+    let n = s.Pll.nvars in
+    (* Smallest ‖x‖ on the boundary {V_q = β} over all modes: sample ray
+       directions, bisect the radius where the active certificate
+       crosses β. *)
+    let rng = Random.State.make [| 17 |] in
+    let r_min = ref infinity in
+    for _ = 1 to samples do
+      let dir = Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let nrm = sqrt (Array.fold_left (fun a v -> a +. (v *. v)) 0.0 dir) in
+      if nrm > 1e-9 then begin
+        let dir = Array.map (fun v -> v /. nrm) dir in
+        let active_v r =
+          let x = Array.map (fun d -> r *. d) dir in
+          let th = x.(Pll.theta_index s) in
+          let m =
+            if Float.abs th <= s.Pll.theta_on then Pll.off
+            else if th > 0.0 then Pll.up
+            else Pll.down
+          in
+          Poly.eval ai.cert.vs.(m) x
+        in
+        let r_hi = 2.0 *. Float.max s.Pll.w_max s.Pll.theta_max in
+        if active_v r_hi >= beta then begin
+          let lo = ref 0.0 and hi = ref r_hi in
+          for _ = 1 to 50 do
+            let mid = 0.5 *. (!lo +. !hi) in
+            if active_v mid < beta then lo := mid else hi := mid
+          done;
+          if !lo < !r_min then r_min := !lo
+        end
+      end
+    done;
+    if !r_min = infinity || !r_min <= 0.0 then infinity
+    else (from_level -. beta) /. (eps *. !r_min *. !r_min)
+  end
+
+let check_escape ?(mult_deg = 2) ?(eps = 1e-2) ~nvars ~flow ~domain ~certificate () =
+  let prob = Sos.create ~nvars in
+  Sos.add_nonneg_on ~mult_deg prob ~domain
+    (Ppoly.of_poly
+       (Poly.sub
+          (Poly.neg (Poly.lie_derivative certificate flow))
+          (Poly.const nvars eps)));
+  let params = { Sdp.default_params with Sdp.max_iter = 60 } in
+  (Sos.solve ~params prob).Sos.certified
+
+let find_escape ?(deg = 4) ?(eps = 1e-2) ?sdp_params ~nvars ~flow ~domain () =
+  let t_start = Sys.time () in
+  let prob = Sos.create ~nvars in
+  let e = Sos.fresh_poly prob ~deg ~min_deg:1 in
+  (* -dE/dt - eps >= 0 on the domain *)
+  Sos.add_nonneg_on prob ~domain
+    (Ppoly.sub
+       (Ppoly.neg (Ppoly.lie_derivative e flow))
+       (Ppoly.of_poly (Poly.const nvars eps)));
+  let sol = Sos.solve ?params:sdp_params prob in
+  let time_s = Sys.time () -. t_start in
+  if sol.Sos.certified then Ok (Poly.chop ~tol:1e-9 (Sos.value sol e), stats_of prob sol time_s)
+  else Error "no escape certificate at this degree"
+
+let validate_by_simulation ?(trials = 50) ?(t_max = 120.0) ?(seed = 42) (s : Pll.scaled) ai =
+  let rng = Random.State.make [| seed |] in
+  let n = s.Pll.nvars in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  let sound = ref true in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  while !found < trials && !attempts < trials * 200 do
+    incr attempts;
+    let x0 =
+      Array.init n (fun i ->
+          let bound = if i = Pll.theta_index s then s.Pll.theta_max else s.Pll.w_max in
+          (Random.State.float rng 2.0 -. 1.0) *. bound)
+    in
+    (* Pick the mode whose slab contains x0. *)
+    let th = x0.(Pll.theta_index s) in
+    let m =
+      if Float.abs th <= s.Pll.theta_on then Pll.off
+      else if th > 0.0 then Pll.up
+      else Pll.down
+    in
+    if member s ai x0 then begin
+      incr found;
+      let r = Hybrid.simulate ~dt:1e-3 sys ~mode0:m ~x0 ~t_max in
+      if r.Hybrid.blocked then sound := false;
+      if not (Pll.in_lock ~tol:0.05 s r.Hybrid.final.Hybrid.state) then sound := false;
+      (* The active certificate must be non-increasing along the arc
+         (up to integration tolerance). *)
+      let prev = ref infinity in
+      List.iter
+        (fun (st : Hybrid.step) ->
+          let v = Poly.eval ai.cert.vs.(st.Hybrid.mode_at) st.Hybrid.state in
+          if v > !prev +. 1e-6 then sound := false;
+          prev := v)
+        r.Hybrid.arc
+    end
+  done;
+  !sound && !found > 0
+
+let invariant_boundary (s : Pll.scaled) ai ~plane:(i, j) ~n =
+  let nvars = s.Pll.nvars in
+  let r_max = 2.0 *. Float.max s.Pll.w_max s.Pll.theta_max in
+  let pts = ref [] in
+  for k = 0 to n - 1 do
+    let angle = 2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+    let dir_i = cos angle and dir_j = sin angle in
+    let at r =
+      let x = Array.make nvars 0.0 in
+      x.(i) <- r *. dir_i;
+      x.(j) <- r *. dir_j;
+      x
+    in
+    if member s ai (at 0.0) && not (member s ai (at r_max)) then begin
+      let lo = ref 0.0 and hi = ref r_max in
+      for _ = 1 to 50 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if member s ai (at mid) then lo := mid else hi := mid
+      done;
+      pts := (!lo *. dir_i, !lo *. dir_j) :: !pts
+    end
+  done;
+  List.rev !pts
+
+let level_curve v ~beta ~plane:(i, j) ~nvars ~n =
+  let r_max = 1e3 in
+  let pts = ref [] in
+  for k = 0 to n - 1 do
+    let angle = 2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+    let dir_i = cos angle and dir_j = sin angle in
+    let value r =
+      let x = Array.make nvars 0.0 in
+      x.(i) <- r *. dir_i;
+      x.(j) <- r *. dir_j;
+      Poly.eval v x
+    in
+    (* V(0) = 0 <= beta; find r with V(r·dir) = beta by bisection if the
+       ray reaches beta. *)
+    if value r_max >= beta then begin
+      let lo = ref 0.0 and hi = ref r_max in
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if value mid < beta then lo := mid else hi := mid
+      done;
+      pts := (!hi *. dir_i, !hi *. dir_j) :: !pts
+    end
+  done;
+  List.rev !pts

@@ -1,0 +1,146 @@
+(** Deductive certificates for the CP PLL hybrid system: multiple
+    Lyapunov functions (Theorem 1), maximized attractive-invariant level
+    sets (the paper's second SOS program, via Lemma 1 and bisection) and
+    Escape certificates (Proposition 1).
+
+    The attractive invariant produced here is
+    [X1 = ∪_q ({V_q <= β} ∩ C_q)]: while flowing in mode [q], [V_q]
+    strictly decreases; at a mode switch (identity reset, Remark 1) the
+    destination certificate is no larger than the source one on the
+    (direction-restricted) switching surface; and the common level [β]
+    is maximized subject to each sublevel slice staying strictly inside
+    the certified domain box. Together these make [X1] compact,
+    forward-invariant and attractive to the lock equilibrium —
+    property P1 of the paper. *)
+
+type config = {
+  degree : int;  (** certificate degree (paper: 6 for 3rd order, 4 for 4th) *)
+  eps_pos : float;  (** positivity margin: [V − eps_pos·‖x‖² ∈ Σ] *)
+  eps_decr : float;  (** decrease margin: [−V̇ − eps_decr·‖x‖² ∈ Σ] *)
+  robust_vertices : bool;
+      (** enforce the decrease condition at every vertex of the scaled
+          coefficient box (the flow is affine in the coefficients, so
+          vertex feasibility gives the whole box); otherwise only at the
+          nominal point *)
+  sdp_params : Sdp.params;
+}
+
+val default_config : Pll.order -> config
+(** Paper degrees (6 / 4), margins [1e-2]/[1e-3], nominal parameters. *)
+
+(** A multiple-Lyapunov certificate, one polynomial per PFD mode. *)
+type t = {
+  vs : Poly.t array;
+  cfg : config;
+  solve_stats : stats;
+}
+
+and stats = {
+  time_s : float;  (** wall-clock seconds of the SOS/SDP solve *)
+  sdp_iterations : int;
+  n_constraints : int;  (** scalar equality constraints in the SDP *)
+  n_gram_blocks : int;
+  min_gram_eig : float;
+  max_residual : float;
+}
+
+val find_multi_lyapunov : ?config:config -> Pll.scaled -> (t, string) result
+(** The paper's first SOS program — constraints (a), (b), (c) of §3 for
+    the three PFD modes, with S-procedure domain restrictions and
+    direction-restricted switching surfaces. *)
+
+val check_level : ?mult_deg:int -> Pll.scaled -> t -> float -> bool
+(** One Lemma-1 feasibility check: is every slice
+    [{V_q <= β} ∩ slab_q] strictly inside the certified region?
+    [mult_deg] (default 2) is the S-procedure multiplier degree. *)
+
+val maximize_level :
+  ?bisect_steps:int -> ?beta_hi:float -> Pll.scaled -> t -> float * stats
+(** The paper's second SOS program: largest certified [β] by bisection
+    (the product [σ·β] is bilinear, so each step is a linear SOS
+    feasibility problem). Returns [0.] if even tiny levels fail. *)
+
+(** An attractive invariant [X1] (Theorem 2): certificate plus maximized
+    common level. *)
+type attractive_invariant = { cert : t; beta : float; level_stats : stats }
+
+val attractive_invariant :
+  ?config:config -> ?bisect_steps:int -> Pll.scaled -> (attractive_invariant, string) result
+(** [find_multi_lyapunov] followed by [maximize_level]. *)
+
+val member : Pll.scaled -> attractive_invariant -> float array -> bool
+(** Whether a state lies in [X1] (in some mode slice). *)
+
+val upper_bound_on_set :
+  ?extra_domain:Poly.t list -> Pll.scaled -> t -> set:Poly.t -> (float, string) result
+(** Certified upper bound on [max_q max {V_q(x) | set(x) <= 0, x ∈ C_q}]
+    via one small SOS optimization per mode (minimize [u] with
+    [u − V_q >= 0] on the region). Since every [V_q] is non-increasing
+    along flows and jumps (Theorem 1), [∪_q ({V_q <= bound} ∩ C_q)] then
+    contains the whole reach tube of [{set <= 0}] — the certified cap
+    used by {!Advect.run}. *)
+
+val time_to_lock_bound :
+  ?samples:int -> Pll.scaled -> attractive_invariant -> from_level:float -> float
+(** A certified bound on the time to reach the attractive invariant from
+    the larger sublevel region [{V_q <= from_level}]: along flows,
+    [dV/dt <= −eps_decr·‖x‖²], and outside [X1] the norm is bounded
+    below by [r = min ‖x‖ on {V = β}] (estimated by boundary sampling,
+    conservative by taking the minimum over [samples] rays), so
+    [T <= (from_level − β) / (eps_decr · r²)] — the 'time to locking'
+    property of the paper's references [2] and [6], obtained here as a
+    corollary of the strict decrease margins. Returns [infinity] when
+    the sampling finds no boundary. *)
+
+(** {1 Escape certificates (Proposition 1)} *)
+
+val check_escape :
+  ?mult_deg:int ->
+  ?eps:float ->
+  nvars:int ->
+  flow:Poly.t array ->
+  domain:Poly.t list ->
+  certificate:Poly.t ->
+  unit ->
+  bool
+(** Proposition 1 with a {e fixed} candidate: certify
+    [∂E/∂x · f <= −eps] on the domain for the given [certificate] — a
+    multiplier-only SOS feasibility check, far cheaper and more robust
+    than the search. Used with [E = V_q], which always escapes the
+    advection residual thanks to the strict decrease margin. *)
+
+val find_escape :
+  ?deg:int ->
+  ?eps:float ->
+  ?sdp_params:Sdp.params ->
+  nvars:int ->
+  flow:Poly.t array ->
+  domain:Poly.t list ->
+  unit ->
+  (Poly.t * stats, string) result
+(** Find [E] with [∂E/∂x · f <= −eps] on the compact semialgebraic
+    [domain] — trajectories must leave the set in finite time (at most
+    [(sup E − inf E)/eps]). *)
+
+(** {1 Validation and figure extraction} *)
+
+val validate_by_simulation :
+  ?trials:int -> ?t_max:float -> ?seed:int -> Pll.scaled -> attractive_invariant -> bool
+(** Monte-Carlo soundness check: sample states in [X1], simulate the
+    hybrid system, and verify (i) the active certificate never increases
+    beyond numerical tolerance and (ii) the trajectory converges to
+    lock. *)
+
+val invariant_boundary :
+  Pll.scaled -> attractive_invariant -> plane:int * int -> n:int -> (float * float) list
+(** Boundary of the attractive invariant [X1 = ∪_q ({V_q <= β} ∩ C_q)]
+    itself (the union over modes), sliced in the coordinate plane
+    [(i, j)] — the solid sets of Figs. 2–3. Radial bisection on
+    {!member}. *)
+
+val level_curve :
+  Poly.t -> beta:float -> plane:int * int -> nvars:int -> n:int -> (float * float) list
+(** [n] boundary points of the slice [{V = β}] in the coordinate plane
+    [(i, j)] (all other coordinates 0), found by radial bisection — the
+    series plotted in the paper's Figs. 2–3. Points where the ray never
+    reaches [β] within a large radius are omitted. *)

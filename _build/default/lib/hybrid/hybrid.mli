@@ -1,0 +1,109 @@
+(** Hybrid dynamical systems with polynomial flow and jump maps.
+
+    The formalism follows Goebel–Sanfelice–Teel (the paper's reference
+    [4]) restricted to what the CP PLL verification needs (Assumption 1
+    of the paper: polynomial maps, semialgebraic flow/jump sets):
+
+    - a finite set of {e modes}, each with a polynomial vector field and
+      a semialgebraic {e flow set} (invariant) given by inequalities
+      [g(x) >= 0];
+    - {e transitions} between modes with semialgebraic guards and
+      polynomial reset maps;
+    - solutions are {e hybrid arcs} on a {e hybrid time domain}: pairs
+      [(t, j)] of continuous time and jump count (Definitions 1–2).
+
+    Simulation integrates each mode's flow with classical RK4 and detects
+    guard crossings by bisection on the guard functions, producing a
+    sampled hybrid arc. It is used to validate certificates found by the
+    SOS pipeline (a certified Lyapunov function must decrease along every
+    simulated arc) and by the reach-set baseline. *)
+
+type mode = {
+  mode_id : int;
+  mode_name : string;
+  flow : Poly.t array;  (** [ẋ = flow(x)], one polynomial per state *)
+  invariant : Poly.t list;  (** flow set [{x | g(x) >= 0 for all g}] *)
+}
+
+type transition = {
+  src : int;
+  dst : int;
+  guard : Poly.t list;  (** jump enabled where all [g(x) >= 0] *)
+  urgent_when : Poly.t option;
+      (** jump is {e forced} as soon as this function crosses from
+          negative to [>= 0] along the flow; [None] means the guard
+          itself (its first member) is treated as the crossing
+          function *)
+  reset : Poly.t array;  (** [x⁺ = reset(x)] *)
+}
+
+type t = {
+  nvars : int;
+  var_names : string array;
+  modes : mode array;
+  transitions : transition list;
+}
+
+val make :
+  nvars:int ->
+  ?var_names:string array ->
+  modes:mode list ->
+  transitions:transition list ->
+  unit ->
+  t
+(** Build and validate a hybrid system (arities, mode ids, reset
+    dimensions). Raises [Invalid_argument] on malformed input. *)
+
+val identity_reset : int -> Poly.t array
+(** The identity jump map over [n] variables (Remark 1 of the paper: the
+    difference-coordinate CP PLL has identity resets). *)
+
+val mode : t -> int -> mode
+(** Mode by id. *)
+
+val in_flow_set : ?tol:float -> t -> int -> float array -> bool
+(** Whether a point satisfies a mode's invariant up to [-tol] slack
+    (default 1e-9). *)
+
+val is_equilibrium : ?tol:float -> t -> int -> float array -> bool
+(** Definition 3: the flow of the given mode vanishes at the point. *)
+
+(** {1 Simulation} *)
+
+type step = {
+  t : float;  (** continuous time *)
+  j : int;  (** jump count — [(t, j)] ranges over the hybrid time domain *)
+  mode_at : int;
+  state : float array;
+}
+
+type arc = step list
+(** A sampled hybrid arc, in chronological order. *)
+
+type sim_result = {
+  arc : arc;
+  final : step;
+  jumps : int;  (** total number of discrete transitions taken *)
+  blocked : bool;
+      (** the state left every flow set with no enabled transition *)
+}
+
+val simulate :
+  ?dt:float ->
+  ?max_jumps:int ->
+  t ->
+  mode0:int ->
+  x0:float array ->
+  t_max:float ->
+  sim_result
+(** Integrate from [(mode0, x0)] for [t_max] time units with RK4 step
+    [dt] (default 1e-3). Transitions fire when their crossing function
+    becomes non-negative (bisected to the crossing point within the
+    step) and the guard holds. [max_jumps] (default 10_000) bounds the
+    number of discrete transitions. *)
+
+val rk4_step : Poly.t array -> float -> float array -> float array
+(** One classical Runge–Kutta step of size [h] for [ẋ = f(x)] — exposed
+    for tests and for the reach-set baseline. *)
+
+val pp_step : Format.formatter -> step -> unit

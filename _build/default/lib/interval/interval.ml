@@ -1,0 +1,98 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Interval.make: NaN bound";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point v = make v v
+
+let lo iv = iv.lo
+
+let hi iv = iv.hi
+
+let mid iv = 0.5 *. (iv.lo +. iv.hi)
+
+let width iv = iv.hi -. iv.lo
+
+let mem v iv = iv.lo <= v && v <= iv.hi
+
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let add a b = make (a.lo +. b.lo) (a.hi +. b.hi)
+
+let neg a = make (-.a.hi) (-.a.lo)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  make
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let contains_zero iv = mem 0.0 iv
+
+let inv a =
+  if contains_zero a then invalid_arg "Interval.inv: interval contains zero";
+  make (1.0 /. a.hi) (1.0 /. a.lo)
+
+let div a b = mul a (inv b)
+
+let scale s a = if s >= 0.0 then make (s *. a.lo) (s *. a.hi) else make (s *. a.hi) (s *. a.lo)
+
+let hull a b = make (Float.min a.lo b.lo) (Float.max a.hi b.hi)
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo <= hi then Some (make lo hi) else None
+
+let sample iv k =
+  if k <= 0 then []
+  else if k = 1 then [ mid iv ]
+  else
+    List.init k (fun i ->
+        iv.lo +. (width iv *. float_of_int i /. float_of_int (k - 1)))
+
+let pp ppf iv = Format.fprintf ppf "[%g, %g]" iv.lo iv.hi
+
+module Box = struct
+  type iv = t
+
+  type nonrec t = t array
+
+  let dim = Array.length
+
+  let mid b = Array.map mid b
+
+  let mem x b =
+    Array.length x = Array.length b
+    && Array.for_all2 (fun v iv -> mem v iv) x b
+
+  let corners b =
+    let n = Array.length b in
+    let rec go i acc =
+      if i = n then [ Array.of_list (List.rev acc) ]
+      else go (i + 1) (b.(i).lo :: acc) @ go (i + 1) (b.(i).hi :: acc)
+    in
+    if n = 0 then [ [||] ]
+    else
+      (* Deduplicate degenerate dimensions. *)
+      List.sort_uniq Stdlib.compare (go 0 [])
+
+  let sample_grid b k =
+    let n = Array.length b in
+    let rec go i acc =
+      if i = n then [ Array.of_list (List.rev acc) ]
+      else List.concat_map (fun v -> go (i + 1) (v :: acc)) (sample b.(i) k)
+    in
+    if n = 0 then [ [||] ] else go 0 []
+
+  let pp ppf b =
+    Format.fprintf ppf "@[<h>%a@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " x ") pp)
+      (Array.to_list b)
+end

@@ -1,0 +1,419 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let diag v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.0)
+
+let get a i j = a.data.((i * a.cols) + j)
+
+let set a i j v = a.data.((i * a.cols) + j) <- v
+
+let diag_of a =
+  if a.rows <> a.cols then invalid_arg "Mat.diag_of: not square";
+  Array.init a.rows (fun i -> get a i i)
+
+let of_arrays rows =
+  let m = Array.length rows in
+  if m = 0 then create 0 0
+  else begin
+    let n = Array.length rows.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> n then invalid_arg "Mat.of_arrays: ragged rows")
+      rows;
+    init m n (fun i j -> rows.(i).(j))
+  end
+
+let to_arrays a = Array.init a.rows (fun i -> Array.init a.cols (fun j -> get a i j))
+
+let dims a = (a.rows, a.cols)
+
+let copy a = { a with data = Array.copy a.data }
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: dimension mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+let scale s a = { a with data = Array.map (fun v -> s *. v) a.data }
+
+let neg a = scale (-1.0) a
+
+let transpose a = init a.cols a.rows (fun i j -> get a j i)
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.mul: dimension mismatch (%dx%d * %dx%d)" a.rows a.cols
+         b.rows b.cols);
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+let mul_vec a x =
+  if a.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to a.cols - 1 do
+        s := !s +. (get a i j *. x.(j))
+      done;
+      !s)
+
+let tmul_vec a x =
+  if a.rows <> Array.length x then invalid_arg "Mat.tmul_vec: dimension mismatch";
+  Array.init a.cols (fun j ->
+      let s = ref 0.0 in
+      for i = 0 to a.rows - 1 do
+        s := !s +. (get a i j *. x.(i))
+      done;
+      !s)
+
+let outer x y =
+  init (Array.length x) (Array.length y) (fun i j -> x.(i) *. y.(j))
+
+let symmetrize a =
+  if a.rows <> a.cols then invalid_arg "Mat.symmetrize: not square";
+  init a.rows a.cols (fun i j -> 0.5 *. (get a i j +. get a j i))
+
+let is_symmetric ?(tol = 1e-9) a =
+  a.rows = a.cols
+  &&
+  let ok = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      if Float.abs (get a i j -. get a j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let trace a =
+  if a.rows <> a.cols then invalid_arg "Mat.trace: not square";
+  let s = ref 0.0 in
+  for i = 0 to a.rows - 1 do
+    s := !s +. get a i i
+  done;
+  !s
+
+let frob_dot a b =
+  check_same "frob_dot" a b;
+  let s = ref 0.0 in
+  for k = 0 to Array.length a.data - 1 do
+    s := !s +. (a.data.(k) *. b.data.(k))
+  done;
+  !s
+
+let norm_fro a = sqrt (frob_dot a a)
+
+let norm_inf a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let cholesky ?(reg = 0.0) a =
+  if a.rows <> a.cols then invalid_arg "Mat.cholesky: not square";
+  let n = a.rows in
+  let l = create n n in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to i do
+         let s = ref (get a i j) in
+         if i = j then s := !s +. reg;
+         for k = 0 to j - 1 do
+           s := !s -. (get l i k *. get l j k)
+         done;
+         if i = j then begin
+           if !s <= 0.0 || not (Float.is_finite !s) then begin
+             ok := false;
+             raise Exit
+           end;
+           set l i i (sqrt !s)
+         end
+         else set l i j (!s /. get l j j)
+       done
+     done
+   with Exit -> ());
+  if !ok then Some l else None
+
+let forward_subst l b =
+  let n = l.rows in
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (get l i k *. y.(k))
+    done;
+    y.(i) <- !s /. get l i i
+  done;
+  y
+
+let backward_subst_t l y =
+  (* Solves Lᵀ x = y for lower-triangular L. *)
+  let n = l.rows in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (get l k i *. x.(k))
+    done;
+    x.(i) <- !s /. get l i i
+  done;
+  x
+
+let chol_solve l b = backward_subst_t l (forward_subst l b)
+
+let chol_solve_mat l b =
+  let x = create b.rows b.cols in
+  for j = 0 to b.cols - 1 do
+    let col = Array.init b.rows (fun i -> get b i j) in
+    let sol = chol_solve l col in
+    for i = 0 to b.rows - 1 do
+      set x i j sol.(i)
+    done
+  done;
+  x
+
+(* Gaussian elimination with partial pivoting on an augmented system. *)
+let gauss_solve a rhs_cols rhs =
+  if a.rows <> a.cols then invalid_arg "Mat.solve: not square";
+  let n = a.rows in
+  let m = copy a in
+  let b = copy rhs in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let piv = ref col in
+    for i = col + 1 to n - 1 do
+      if Float.abs (get m i col) > Float.abs (get m !piv col) then piv := i
+    done;
+    if Float.abs (get m !piv col) < 1e-300 then failwith "Mat.solve: singular matrix";
+    if !piv <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = get m col j in
+        set m col j (get m !piv j);
+        set m !piv j tmp
+      done;
+      for j = 0 to rhs_cols - 1 do
+        let tmp = get b col j in
+        set b col j (get b !piv j);
+        set b !piv j tmp
+      done
+    end;
+    let d = get m col col in
+    for i = col + 1 to n - 1 do
+      let f = get m i col /. d in
+      if f <> 0.0 then begin
+        for j = col to n - 1 do
+          set m i j (get m i j -. (f *. get m col j))
+        done;
+        for j = 0 to rhs_cols - 1 do
+          set b i j (get b i j -. (f *. get b col j))
+        done
+      end
+    done
+  done;
+  let x = create n rhs_cols in
+  for j = 0 to rhs_cols - 1 do
+    for i = n - 1 downto 0 do
+      let s = ref (get b i j) in
+      for k = i + 1 to n - 1 do
+        s := !s -. (get m i k *. get x k j)
+      done;
+      set x i j (!s /. get m i i)
+    done
+  done;
+  x
+
+let solve a b =
+  let bm = init (Array.length b) 1 (fun i _ -> b.(i)) in
+  let x = gauss_solve a 1 bm in
+  Array.init a.rows (fun i -> get x i 0)
+
+let solve_mat a b =
+  if a.rows <> b.rows then invalid_arg "Mat.solve_mat: dimension mismatch";
+  gauss_solve a b.cols b
+
+let inverse a = solve_mat a (identity a.rows)
+
+let lstsq a b =
+  if a.rows <> Array.length b then invalid_arg "Mat.lstsq: dimension mismatch";
+  let at = transpose a in
+  let ata = mul at a in
+  let scale_reg = 1e-12 *. (1.0 +. norm_inf ata) in
+  for i = 0 to ata.rows - 1 do
+    set ata i i (get ata i i +. scale_reg)
+  done;
+  solve ata (mul_vec at b)
+
+let qr a =
+  let m = a.rows and n = a.cols in
+  if m < n then invalid_arg "Mat.qr: needs rows >= cols";
+  let r = copy a in
+  (* Accumulate Q implicitly: start from the identity embedding and apply
+     the same reflections. *)
+  let q = init m m (fun i j -> if i = j then 1.0 else 0.0) in
+  for k = 0 to n - 1 do
+    (* Householder vector for column k below the diagonal. *)
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      norm := !norm +. (get r i k *. get r i k)
+    done;
+    let norm = sqrt !norm in
+    if norm > 1e-300 then begin
+      let alpha = if get r k k >= 0.0 then -.norm else norm in
+      let v = Array.make m 0.0 in
+      v.(k) <- get r k k -. alpha;
+      for i = k + 1 to m - 1 do
+        v.(i) <- get r i k
+      done;
+      let vtv = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v in
+      if vtv > 1e-300 then begin
+        let apply (mat : t) =
+          (* mat <- (I - 2 v v'/v'v) mat *)
+          for j = 0 to mat.cols - 1 do
+            let dot = ref 0.0 in
+            for i = k to m - 1 do
+              dot := !dot +. (v.(i) *. get mat i j)
+            done;
+            let f = 2.0 *. !dot /. vtv in
+            for i = k to m - 1 do
+              set mat i j (get mat i j -. (f *. v.(i)))
+            done
+          done
+        in
+        apply r;
+        apply q
+      end
+    end
+  done;
+  (* q currently holds H_{n-1}…H_0; Q = (H_{n-1}…H_0)' — take the
+     transpose and keep the first n columns; zero R's subdiagonal
+     noise. *)
+  let qt = transpose q in
+  let q_thin = init m n (fun i j -> get qt i j) in
+  let r_sq = init n n (fun i j -> if j >= i then get r i j else 0.0) in
+  (q_thin, r_sq)
+
+let expm a =
+  if a.rows <> a.cols then invalid_arg "Mat.expm: not square";
+  let n = a.rows in
+  (* Scaling: bring |A/2^s| below 1/2. *)
+  let nrm = norm_inf a in
+  let s = if nrm <= 0.5 then 0 else int_of_float (ceil (log (nrm /. 0.5) /. log 2.0)) in
+  let a1 = scale (1.0 /. Float.pow 2.0 (float_of_int s)) a in
+  (* Padé(6,6): N = sum c_k A^k, D = sum (-1)^k c_k A^k. *)
+  let c = Array.make 7 1.0 in
+  for k = 1 to 6 do
+    c.(k) <- c.(k - 1) *. float_of_int (6 - k + 1) /. float_of_int (k * ((2 * 6) - k + 1))
+  done;
+  let num = ref (scale c.(0) (identity n)) and den = ref (scale c.(0) (identity n)) in
+  let pow = ref (identity n) in
+  for k = 1 to 6 do
+    pow := mul !pow a1;
+    num := add !num (scale c.(k) !pow);
+    den := add !den (scale (if k mod 2 = 0 then c.(k) else -.c.(k)) !pow)
+  done;
+  let e = ref (solve_mat !den !num) in
+  for _ = 1 to s do
+    e := mul !e !e
+  done;
+  !e
+
+let sym_eig ?(tol = 1e-12) ?(max_sweeps = 64) a =
+  if a.rows <> a.cols then invalid_arg "Mat.sym_eig: not square";
+  let n = a.rows in
+  let m = copy (symmetrize a) in
+  let v = identity n in
+  let off_norm () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (get m i j *. get m i j)
+      done
+    done;
+    sqrt (2.0 *. !s)
+  in
+  let scale_m = Float.max 1.0 (norm_inf m) in
+  let sweeps = ref 0 in
+  while off_norm () > tol *. scale_m && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = get m p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = get m p p and aqq = get m q q in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let sign = if theta >= 0.0 then 1.0 else -1.0 in
+            sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* Update rows/cols p and q of m. *)
+          for k = 0 to n - 1 do
+            let mkp = get m k p and mkq = get m k q in
+            set m k p ((c *. mkp) -. (s *. mkq));
+            set m k q ((s *. mkp) +. (c *. mkq))
+          done;
+          for k = 0 to n - 1 do
+            let mpk = get m p k and mqk = get m q k in
+            set m p k ((c *. mpk) -. (s *. mqk));
+            set m q k ((s *. mpk) +. (c *. mqk))
+          done;
+          for k = 0 to n - 1 do
+            let vkp = get v k p and vkq = get v k q in
+            set v k p ((c *. vkp) -. (s *. vkq));
+            set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare (get m i i) (get m j j)) order;
+  let w = Array.init n (fun k -> get m order.(k) order.(k)) in
+  let vs = init n n (fun i k -> get v i order.(k)) in
+  (w, vs)
+
+let min_eig a =
+  let w, _ = sym_eig a in
+  if Array.length w = 0 then 0.0 else w.(0)
+
+let is_psd ?(tol = 1e-8) a = min_eig a >= -.tol
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to a.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to a.cols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%g" (get a i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < a.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

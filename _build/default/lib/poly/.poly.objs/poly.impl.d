@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Buffer Float Format Hashtbl Int Linalg List Map Monomial Printf String

@@ -1,0 +1,1 @@
+lib/poly/monomial.ml: Array Format Fun Int List Printf Stdlib String

@@ -1,0 +1,175 @@
+type stats = {
+  converged : bool;
+  iterations : int;
+  transitions : int;
+  set_ops : int;
+  max_boxes : int;
+  time_s : float;
+}
+
+(* Interval evaluation of a polynomial over a box. *)
+let eval_box p (box : Interval.Box.t) =
+  List.fold_left
+    (fun acc (m, c) ->
+      let term = ref (Interval.point c) in
+      Array.iteri
+        (fun i e ->
+          for _ = 1 to e do
+            term := Interval.mul !term box.(i)
+          done)
+        m;
+      Interval.add acc !term)
+    (Interval.point 0.0) (Poly.terms p)
+
+let box_union (a : Interval.Box.t) (b : Interval.Box.t) : Interval.Box.t =
+  Array.map2 Interval.hull a b
+
+(* One interval Euler step of the flow over a box. *)
+let euler_step flow dt (box : Interval.Box.t) : Interval.Box.t =
+  Array.mapi
+    (fun i iv ->
+      let d = eval_box flow.(i) box in
+      Interval.add iv (Interval.scale dt d))
+    box
+
+let interval_analysis ?(dt = 0.01) ?(t_max = 60.0) ?(lock_tol = 0.1) ?(max_boxes = 64)
+    (s : Pll.scaled) ~init ~mode0 =
+  let t_start = Sys.time () in
+  let n = s.Pll.nvars in
+  let theta = Pll.theta_index s in
+  let iterations = ref 0 and transitions = ref 0 and set_ops = ref 0 in
+  let peak = ref 1 in
+  (* Work state: one box per mode (hulled); [None] when that mode holds
+     no reachable states. *)
+  let boxes : Interval.Box.t option array = Array.make Pll.n_modes None in
+  boxes.(mode0) <- Some (Array.copy init);
+  let flows = Array.init Pll.n_modes (fun m -> Pll.flow s (Pll.nominal s) m) in
+  let t = ref 0.0 in
+  let diverged = ref false in
+  let locked_box b =
+    let ok = ref true in
+    for i = 0 to n - 2 do
+      if Float.max (Float.abs (Interval.lo b.(i))) (Float.abs (Interval.hi b.(i))) > lock_tol
+      then ok := false
+    done;
+    !ok
+  in
+  let clip_theta b lo hi =
+    match Interval.intersect b.(theta) (Interval.make lo hi) with
+    | None -> None
+    | Some iv ->
+        let b' = Array.copy b in
+        b'.(theta) <- iv;
+        Some b'
+  in
+  while (!t < t_max) && (not !diverged)
+        && not (Array.for_all (function None -> true | Some b -> locked_box b) boxes
+                && Array.exists (fun b -> b <> None) boxes)
+  do
+    t := !t +. dt;
+    let next : Interval.Box.t option array = Array.make Pll.n_modes None in
+    Array.iteri
+      (fun m box_opt ->
+        match box_opt with
+        | None -> ()
+        | Some box ->
+            incr iterations;
+            let advanced = euler_step flows.(m) dt box in
+            (* Divergence guard: the wrapping effect blows boxes up. *)
+            Array.iter
+              (fun iv ->
+                if Interval.width iv > 50.0 || Float.abs (Interval.mid iv) > 50.0 then
+                  diverged := true)
+              advanced;
+            (* Split the advanced box across the PFD mode slabs and route
+               each piece; every split/clip is a set operation, every
+               cross-mode piece a discrete transition. *)
+            let pieces =
+              match m with
+              | m when m = Pll.off ->
+                  [
+                    (Pll.off, clip_theta advanced (-.s.Pll.theta_on) s.Pll.theta_on);
+                    (Pll.up, clip_theta advanced s.Pll.theta_on s.Pll.theta_max);
+                    (Pll.down, clip_theta advanced (-.s.Pll.theta_max) (-.s.Pll.theta_on));
+                  ]
+              | m when m = Pll.up ->
+                  [
+                    (Pll.up, clip_theta advanced s.Pll.theta_on s.Pll.theta_max);
+                    (Pll.off, clip_theta advanced (-.s.Pll.theta_on) s.Pll.theta_on);
+                  ]
+              | _ ->
+                  [
+                    (Pll.down, clip_theta advanced (-.s.Pll.theta_max) (-.s.Pll.theta_on));
+                    (Pll.off, clip_theta advanced (-.s.Pll.theta_on) s.Pll.theta_on);
+                  ]
+            in
+            List.iter
+              (fun (dest, piece) ->
+                incr set_ops;
+                match piece with
+                | None -> ()
+                | Some piece ->
+                    if dest <> m then incr transitions;
+                    next.(dest) <-
+                      (match next.(dest) with
+                      | None -> Some piece
+                      | Some existing ->
+                          incr set_ops;
+                          Some (box_union existing piece)))
+              pieces)
+      boxes;
+    Array.blit next 0 boxes 0 Pll.n_modes;
+    let live = Array.fold_left (fun acc b -> if b = None then acc else acc + 1) 0 boxes in
+    if live > !peak then peak := live;
+    if live > max_boxes then diverged := true
+  done;
+  let converged =
+    (not !diverged)
+    && Array.for_all (function None -> true | Some b -> locked_box b) boxes
+  in
+  {
+    converged;
+    iterations = !iterations;
+    transitions = !transitions;
+    set_ops = !set_ops;
+    max_boxes = !peak;
+    time_s = Sys.time () -. t_start;
+  }
+
+type sampling_stats = {
+  n_trajectories : int;
+  all_locked : bool;
+  total_transitions : int;
+  max_transitions : int;
+  mean_transitions : float;
+  time_s : float;
+}
+
+let sampling_analysis ?(grid = 3) ?(dt = 1e-3) ?(t_max = 150.0) (s : Pll.scaled) ~init =
+  let t_start = Sys.time () in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  let theta = Pll.theta_index s in
+  let points = Interval.Box.sample_grid init grid in
+  let total = ref 0 and worst = ref 0 and all_locked = ref true and count = ref 0 in
+  List.iter
+    (fun x0 ->
+      let th = x0.(theta) in
+      let m =
+        if Float.abs th <= s.Pll.theta_on then Pll.off
+        else if th > 0.0 then Pll.up
+        else Pll.down
+      in
+      incr count;
+      let r = Hybrid.simulate ~dt sys ~mode0:m ~x0 ~t_max in
+      total := !total + r.Hybrid.jumps;
+      if r.Hybrid.jumps > !worst then worst := r.Hybrid.jumps;
+      if not (Pll.in_lock s r.Hybrid.final.Hybrid.state) then all_locked := false)
+    points;
+  {
+    n_trajectories = !count;
+    all_locked = !all_locked;
+    total_transitions = !total;
+    max_transitions = !worst;
+    mean_transitions = (if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count);
+    time_s = Sys.time () -. t_start;
+  }

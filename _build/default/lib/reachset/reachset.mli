@@ -1,0 +1,55 @@
+(** Reach-set baseline for the CP PLL.
+
+    The paper's motivation (§1): proving phase-locking by forward
+    reachability needs hundreds of discrete transitions, each with
+    continuous set computations and guard intersections, which is what
+    makes the certificate approach attractive. This module implements
+    that baseline so the claim can be measured:
+
+    - {!interval_analysis} — conservative interval (box) reachability
+      with Euler flow-pipes, box splitting at the PFD switching surfaces
+      and per-mode hulling. Sound but subject to the wrapping effect;
+      it typically fails to converge (mirroring the timeout reported for
+      the reachability tool in the paper's reference [16]) while racking
+      up set operations.
+    - {!sampling_analysis} — under-approximate trajectory sampling: a
+      grid of initial states is simulated to lock, counting the discrete
+      transitions each trajectory takes. This measures how many
+      transitions any reach-set method must process.
+
+    Both report operation counts comparable against the certificate
+    pipeline's zero discrete-transition enumeration. *)
+
+type stats = {
+  converged : bool;  (** reachable set provably inside the lock box *)
+  iterations : int;  (** continuous post computations *)
+  transitions : int;  (** discrete transitions processed *)
+  set_ops : int;  (** splits, hulls and guard intersections *)
+  max_boxes : int;  (** peak number of boxes tracked *)
+  time_s : float;
+}
+
+val interval_analysis :
+  ?dt:float ->
+  ?t_max:float ->
+  ?lock_tol:float ->
+  ?max_boxes:int ->
+  Pll.scaled ->
+  init:Interval.Box.t ->
+  mode0:int ->
+  stats
+(** Interval Euler reachability from the box [init] in mode [mode0]. *)
+
+type sampling_stats = {
+  n_trajectories : int;
+  all_locked : bool;
+  total_transitions : int;  (** summed over trajectories *)
+  max_transitions : int;  (** worst single trajectory *)
+  mean_transitions : float;
+  time_s : float;
+}
+
+val sampling_analysis :
+  ?grid:int -> ?dt:float -> ?t_max:float -> Pll.scaled -> init:Interval.Box.t -> sampling_stats
+(** Simulate a [grid^n] lattice of initial states from [init] to lock,
+    counting discrete transitions. *)

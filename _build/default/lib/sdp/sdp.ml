@@ -1,0 +1,612 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+let src = Logs.Src.create "sdp" ~doc:"interior-point SDP solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type block_entry = { blk : int; row : int; col : int; value : float }
+
+type constr = {
+  lhs : block_entry list;
+  free : (int * float) list;
+  rhs : float;
+}
+
+type problem = {
+  block_dims : int array;
+  n_free : int;
+  constraints : constr array;
+  obj_blocks : block_entry list;
+  obj_free : (int * float) list;
+}
+
+type status =
+  | Optimal
+  | Near_optimal
+  | Primal_infeasible
+  | Dual_infeasible
+  | Max_iterations
+  | Numerical_failure
+
+type solution = {
+  status : status;
+  x_blocks : Mat.t array;
+  f : Vec.t;
+  y : Vec.t;
+  s_blocks : Mat.t array;
+  primal_obj : float;
+  dual_obj : float;
+  gap : float;
+  primal_res : float;
+  dual_res : float;
+  iterations : int;
+}
+
+type params = {
+  max_iter : int;
+  tol_gap : float;
+  tol_res : float;
+  near_factor : float;
+  step_frac : float;
+  verbose : bool;
+}
+
+let default_params =
+  {
+    max_iter = 150;
+    tol_gap = 1e-8;
+    tol_res = 1e-8;
+    near_factor = 1e3;
+    step_frac = 0.98;
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Internal representation: per-constraint, per-block sparse entries.  *)
+
+type sparse_block = { entries : (int * int * float) array; touched : int array }
+(* [entries] are upper-triangular (row <= col); [touched] is the sorted
+   set of row/col indices occurring, used to bound dense products. *)
+
+let sparse_block_of_entries dim entries =
+  let touched = Hashtbl.create 8 in
+  List.iter
+    (fun (r, c, _) ->
+      if r < 0 || c >= dim || r > c then invalid_arg "Sdp: bad block entry";
+      Hashtbl.replace touched r ();
+      Hashtbl.replace touched c ())
+    entries;
+  let t = Hashtbl.fold (fun k () acc -> k :: acc) touched [] in
+  { entries = Array.of_list entries; touched = Array.of_list (List.sort compare t) }
+
+(* <A, W> for symmetric sparse A and a dense (not necessarily symmetric) W. *)
+let sb_dot sb (w : Mat.t) =
+  Array.fold_left
+    (fun acc (r, c, v) ->
+      if r = c then acc +. (v *. Mat.get w r r)
+      else acc +. (v *. (Mat.get w r c +. Mat.get w c r)))
+    0.0 sb.entries
+
+(* W <- W + scale * A for symmetric sparse A, dense W. *)
+let sb_add_to sb scale (w : Mat.t) =
+  Array.iter
+    (fun (r, c, v) ->
+      Mat.set w r c (Mat.get w r c +. (scale *. v));
+      if r <> c then Mat.set w c r (Mat.get w c r +. (scale *. v)))
+    sb.entries
+
+(* X * (A * Sinv) for sparse symmetric A: cost O(|touched| * n^2). *)
+let sb_sandwich sb (x : Mat.t) (sinv : Mat.t) =
+  let n = x.Mat.rows in
+  (* p = A * sinv has nonzero rows only at touched indices *)
+  let p_rows = Hashtbl.create 8 in
+  let row_of r =
+    match Hashtbl.find_opt p_rows r with
+    | Some a -> a
+    | None ->
+        let a = Array.make n 0.0 in
+        Hashtbl.add p_rows r a;
+        a
+  in
+  Array.iter
+    (fun (r, c, v) ->
+      let pr = row_of r in
+      for j = 0 to n - 1 do
+        pr.(j) <- pr.(j) +. (v *. Mat.get sinv c j)
+      done;
+      if r <> c then begin
+        let pc = row_of c in
+        for j = 0 to n - 1 do
+          pc.(j) <- pc.(j) +. (v *. Mat.get sinv r j)
+        done
+      end)
+    sb.entries;
+  let w = Mat.create n n in
+  Hashtbl.iter
+    (fun t pr ->
+      for i = 0 to n - 1 do
+        let xit = Mat.get x i t in
+        if xit <> 0.0 then
+          for j = 0 to n - 1 do
+            Mat.set w i j (Mat.get w i j +. (xit *. pr.(j)))
+          done
+      done)
+    p_rows;
+  w
+
+type internal = {
+  p : problem;
+  m : int;
+  nb : int; (* number of blocks *)
+  n_total : int;
+  (* per constraint i, per block b: sparse data (possibly empty) *)
+  cons_blocks : sparse_block array array;
+  (* per block: indices of constraints touching it *)
+  block_cons : int array array;
+  b_vec : Vec.t; (* scaled rhs *)
+  b_mat : Mat.t; (* m x nf dense free-variable matrix, scaled *)
+  c_blocks : sparse_block array;
+  c_free : Vec.t;
+  scales : Vec.t; (* per-constraint normalization *)
+}
+
+let build_internal p =
+  let m = Array.length p.constraints in
+  let nb = Array.length p.block_dims in
+  let n_total = Array.fold_left ( + ) 0 p.block_dims in
+  let scales =
+    Array.map
+      (fun c ->
+        let s = ref 0.0 in
+        List.iter
+          (fun e ->
+            let w = if e.row = e.col then e.value *. e.value else 2.0 *. e.value *. e.value in
+            s := !s +. w)
+          c.lhs;
+        List.iter (fun (_, v) -> s := !s +. (v *. v)) c.free;
+        Float.max 1e-8 (sqrt !s))
+      p.constraints
+  in
+  let cons_blocks =
+    Array.mapi
+      (fun i c ->
+        let per_block = Array.make nb [] in
+        List.iter
+          (fun e ->
+            if e.blk < 0 || e.blk >= nb then invalid_arg "Sdp: block index out of range";
+            per_block.(e.blk) <- (e.row, e.col, e.value /. scales.(i)) :: per_block.(e.blk))
+          c.lhs;
+        Array.mapi (fun b l -> sparse_block_of_entries p.block_dims.(b) l) per_block)
+      p.constraints
+  in
+  let block_cons =
+    Array.init nb (fun b ->
+        let l = ref [] in
+        for i = m - 1 downto 0 do
+          if Array.length cons_blocks.(i).(b).entries > 0 then l := i :: !l
+        done;
+        Array.of_list !l)
+  in
+  let b_vec = Array.init m (fun i -> p.constraints.(i).rhs /. scales.(i)) in
+  let b_mat = Mat.create m p.n_free in
+  Array.iteri
+    (fun i c ->
+      List.iter
+        (fun (k, v) ->
+          if k < 0 || k >= p.n_free then invalid_arg "Sdp: free index out of range";
+          Mat.set b_mat i k (v /. scales.(i)))
+        c.free)
+    p.constraints;
+  let c_per_block = Array.make nb [] in
+  List.iter
+    (fun e -> c_per_block.(e.blk) <- (e.row, e.col, e.value) :: c_per_block.(e.blk))
+    p.obj_blocks;
+  let c_blocks = Array.mapi (fun b l -> sparse_block_of_entries p.block_dims.(b) l) c_per_block in
+  let c_free = Array.make p.n_free 0.0 in
+  List.iter (fun (k, v) -> c_free.(k) <- c_free.(k) +. v) p.obj_free;
+  { p; m; nb; n_total; cons_blocks; block_cons; b_vec; b_mat; c_blocks; c_free; scales }
+
+(* A(X): vector of <A_i, X> over all blocks. *)
+let op_a it x_blocks =
+  Array.init it.m (fun i ->
+      let s = ref 0.0 in
+      for b = 0 to it.nb - 1 do
+        let sb = it.cons_blocks.(i).(b) in
+        if Array.length sb.entries > 0 then s := !s +. sb_dot sb x_blocks.(b)
+      done;
+      !s)
+
+(* A*(y): block-diagonal dense accumulation. *)
+let op_a_star it y =
+  Array.init it.nb (fun b ->
+      let w = Mat.create it.p.block_dims.(b) it.p.block_dims.(b) in
+      Array.iter
+        (fun i ->
+          if y.(i) <> 0.0 then sb_add_to it.cons_blocks.(i).(b) y.(i) w)
+        it.block_cons.(b);
+      w)
+
+let dense_c it =
+  Array.init it.nb (fun b ->
+      let w = Mat.create it.p.block_dims.(b) it.p.block_dims.(b) in
+      sb_add_to it.c_blocks.(b) 1.0 w;
+      w)
+
+(* Cholesky with escalating regularization. *)
+let robust_chol a =
+  let rec go reg tries =
+    if tries = 0 then None
+    else
+      match Mat.cholesky ~reg a with
+      | Some l -> Some l
+      | None -> go (if reg = 0.0 then 1e-12 *. (1.0 +. Mat.norm_inf a) else reg *. 100.0) (tries - 1)
+  in
+  go 0.0 8
+
+(* L^{-1} W L^{-T} for lower-triangular Cholesky factor L. *)
+let chol_congruence (l : Mat.t) (w : Mat.t) =
+  let n = l.Mat.rows in
+  (* U = L^{-1} W : forward substitution on each column of W *)
+  let u = Mat.create n n in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let s = ref (Mat.get w i j) in
+      for k = 0 to i - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get u k j)
+      done;
+      Mat.set u i j (!s /. Mat.get l i i)
+    done
+  done;
+  (* V = U L^{-T} : (L^{-1} U^T)^T *)
+  let v = Mat.create n n in
+  for j = 0 to n - 1 do
+    (* column j of V solves L * vcol = (row j of U)^T *)
+    for i = 0 to n - 1 do
+      let s = ref (Mat.get u j i) in
+      for k = 0 to i - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get v k j)
+      done;
+      Mat.set v i j (!s /. Mat.get l i i)
+    done
+  done;
+  v
+
+(* Largest alpha in (0, 1] with X + alpha * dX >= 0 (to a fraction). *)
+let max_step ~frac (x : Mat.t) (l : Mat.t) (dx : Mat.t) =
+  ignore x;
+  let t = Mat.symmetrize (chol_congruence l dx) in
+  let lam_min = Mat.min_eig t in
+  if lam_min >= 0.0 then 1.0 else Float.min 1.0 (-.frac /. lam_min)
+
+let solve ?(params = default_params) p =
+  let it = build_internal p in
+  let m = it.m and nb = it.nb and nf = p.n_free in
+  let dims = p.block_dims in
+  let n_total = Float.max 1.0 (float_of_int it.n_total) in
+  let c_dense = dense_c it in
+  (* Initial point. *)
+  let norm_b = Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 it.b_vec in
+  let norm_c =
+    Array.fold_left (fun a w -> Float.max a (Mat.norm_inf w)) 0.0 c_dense
+    |> Float.max (Vec.norm_inf it.c_free)
+  in
+  let xi = Float.max 10.0 (2.0 *. norm_b) in
+  let eta = Float.max 10.0 (2.0 *. (norm_c +. 1.0)) in
+  let x = Array.init nb (fun b -> Mat.scale xi (Mat.identity dims.(b))) in
+  let s = Array.init nb (fun b -> Mat.scale eta (Mat.identity dims.(b))) in
+  let y = Array.make m 0.0 in
+  let f = Array.make nf 0.0 in
+  let result status iter =
+    (* Rescale multipliers back to the original constraint scaling. *)
+    let y_orig = Array.init m (fun i -> y.(i) /. it.scales.(i)) in
+    let ax = op_a it x in
+    let bf = Mat.mul_vec it.b_mat f in
+    let pres =
+      let r = Array.init m (fun i -> it.b_vec.(i) -. ax.(i) -. bf.(i)) in
+      Vec.norm2 r /. (1.0 +. Vec.norm2 it.b_vec)
+    in
+    let asy = op_a_star it y in
+    let dres =
+      let block_part =
+        Array.init nb (fun b ->
+            Mat.norm_fro (Mat.sub (Mat.sub c_dense.(b) s.(b)) asy.(b)))
+        |> Array.fold_left Float.max 0.0
+      in
+      let free_part = Vec.norm2 (Vec.sub it.c_free (Mat.tmul_vec it.b_mat y)) in
+      Float.max block_part free_part /. (1.0 +. norm_c)
+    in
+    let pobj =
+      Array.fold_left ( +. ) (Vec.dot it.c_free f)
+        (Array.init nb (fun b -> Mat.frob_dot c_dense.(b) x.(b)))
+    in
+    let dobj = Vec.dot it.b_vec y in
+    let gap = Float.abs (pobj -. dobj) /. (1.0 +. Float.max (Float.abs pobj) (Float.abs dobj)) in
+    {
+      status;
+      x_blocks = Array.map Mat.copy x;
+      f = Array.copy f;
+      y = y_orig;
+      s_blocks = Array.map Mat.copy s;
+      primal_obj = pobj;
+      dual_obj = dobj;
+      gap;
+      primal_res = pres;
+      dual_res = dres;
+      iterations = iter;
+    }
+  in
+  let exception Done of solution in
+  (* Best-iterate tracking: interior-point iterations can overshoot the
+     numerically attainable accuracy floor and then diverge; we keep the
+     best iterate seen and fall back to it. *)
+  let best_score = ref infinity in
+  let best_state = ref None in
+  let maybe_snapshot score =
+    if score < !best_score then begin
+      best_score := score;
+      best_state :=
+        Some (Array.map Mat.copy x, Array.map Mat.copy s, Array.copy y, Array.copy f)
+    end
+  in
+  let restore_best () =
+    match !best_state with
+    | None -> ()
+    | Some (bx, bs, by, bf) ->
+        Array.blit bx 0 x 0 nb;
+        Array.blit bs 0 s 0 nb;
+        Array.blit by 0 y 0 m;
+        Array.blit bf 0 f 0 nf
+  in
+  let classify_best iter =
+    restore_best ();
+    let status =
+      if !best_score <= Float.max params.tol_gap params.tol_res then Optimal
+      else if !best_score <= params.near_factor *. Float.max params.tol_gap params.tol_res
+      then Near_optimal
+      else Max_iterations
+    in
+    result status iter
+  in
+  try
+     for iter = 1 to params.max_iter do
+       (* Factor S blocks; compute S^{-1}. *)
+       let s_chol =
+         Array.map
+           (fun sb ->
+             match robust_chol sb with
+             | Some l -> l
+             | None -> raise (Done (if !best_score < 1e-4 then classify_best iter else result Numerical_failure iter)))
+           s
+       in
+       let s_inv = Array.mapi (fun b l -> Mat.chol_solve_mat l (Mat.identity dims.(b))) s_chol in
+       let x_chol =
+         Array.map
+           (fun xb ->
+             match robust_chol xb with
+             | Some l -> l
+             | None -> raise (Done (if !best_score < 1e-4 then classify_best iter else result Numerical_failure iter)))
+           x
+       in
+       (* Residuals. *)
+       let ax = op_a it x in
+       let bf = Mat.mul_vec it.b_mat f in
+       let r_p = Array.init m (fun i -> it.b_vec.(i) -. ax.(i) -. bf.(i)) in
+       let asy = op_a_star it y in
+       let r_d = Array.init nb (fun b -> Mat.sub (Mat.sub c_dense.(b) s.(b)) asy.(b)) in
+       let r_f = Vec.sub it.c_free (Mat.tmul_vec it.b_mat y) in
+       let mu =
+         Array.init nb (fun b -> Mat.frob_dot x.(b) s.(b))
+         |> Array.fold_left ( +. ) 0.0
+         |> fun t -> t /. n_total
+       in
+       let pobj =
+         Array.fold_left ( +. ) (Vec.dot it.c_free f)
+           (Array.init nb (fun b -> Mat.frob_dot c_dense.(b) x.(b)))
+       in
+       let dobj = Vec.dot it.b_vec y in
+       let gap = Float.abs (pobj -. dobj) /. (1.0 +. Float.max (Float.abs pobj) (Float.abs dobj)) in
+       let pres = Vec.norm2 r_p /. (1.0 +. Vec.norm2 it.b_vec) in
+       let dres =
+         let bp = Array.fold_left (fun a w -> Float.max a (Mat.norm_fro w)) 0.0 r_d in
+         Float.max bp (Vec.norm2 r_f) /. (1.0 +. norm_c)
+       in
+       if params.verbose then
+         Log.app (fun k ->
+             k "iter %3d  mu %.3e  gap %.3e  pres %.3e  dres %.3e  pobj %.6e" iter mu gap
+               pres dres pobj);
+       if gap <= params.tol_gap && pres <= params.tol_res && dres <= params.tol_res then
+         raise (Done (result Optimal iter));
+       let score = Float.max gap (Float.max pres dres) in
+       maybe_snapshot score;
+       (* Diverging past a converged iterate: fall back to the best one. *)
+       if score > 1e4 *. !best_score && !best_score < 1e-4 then
+         raise (Done (classify_best iter));
+       (* Crude infeasibility detection. *)
+       if Float.abs dobj > 1e9 *. (1.0 +. norm_b) && dres <= 1e-6 then
+         raise (Done (result Primal_infeasible iter));
+       if Float.abs pobj > 1e9 *. (1.0 +. norm_c) && pres <= 1e-6 then
+         raise (Done (result Dual_infeasible iter));
+       (* Schur complement M_ij = sum_b <A_i, X A_j Sinv>. *)
+       let mmat = Mat.create m m in
+       let w_cache = Array.make m None in
+       for b = 0 to nb - 1 do
+         let idx = it.block_cons.(b) in
+         Array.iter
+           (fun i ->
+             let w = sb_sandwich it.cons_blocks.(i).(b) x.(b) s_inv.(b) in
+             w_cache.(i) <- Some w)
+           idx;
+         Array.iter
+           (fun i ->
+             match w_cache.(i) with
+             | None -> ()
+             | Some wi ->
+                 Array.iter
+                   (fun j ->
+                     if j >= i then begin
+                       let v = sb_dot it.cons_blocks.(j).(b) wi in
+                       Mat.set mmat i j (Mat.get mmat i j +. v)
+                     end)
+                   idx)
+           idx;
+         Array.iter (fun i -> w_cache.(i) <- None) idx
+       done;
+       for i = 0 to m - 1 do
+         for j = 0 to i - 1 do
+           Mat.set mmat i j (Mat.get mmat j i)
+         done
+       done;
+       let m_chol =
+         match robust_chol mmat with
+         | Some l -> l
+         | None -> raise (Done (if !best_score < 1e-4 then classify_best iter else result Numerical_failure iter))
+       in
+       (* Saddle solve shared by predictor and corrector. *)
+       let solve_direction rhs_g =
+         if nf = 0 then (Mat.chol_solve m_chol rhs_g, [||])
+         else begin
+           let minv_b = Mat.chol_solve_mat m_chol it.b_mat in
+           let k = Mat.mul (Mat.transpose it.b_mat) minv_b in
+           let kreg = 1e-12 *. (1.0 +. Mat.norm_inf k) in
+           for d = 0 to nf - 1 do
+             Mat.set k d d (Mat.get k d d +. kreg)
+           done;
+           let minv_g = Mat.chol_solve m_chol rhs_g in
+           let rhs_f = Vec.sub (Mat.tmul_vec it.b_mat minv_g) r_f in
+           let df = Mat.solve k rhs_f in
+           let dy = Mat.chol_solve m_chol (Vec.sub rhs_g (Mat.mul_vec it.b_mat df)) in
+           (dy, df)
+         end
+       in
+       (* F_b = X R_d Sinv per block (shared). *)
+       let f_term = Array.init nb (fun b -> Mat.mul x.(b) (Mat.mul r_d.(b) s_inv.(b))) in
+       let direction e_blocks =
+         (* g = r_p - A(E) + A(F) *)
+         let ae = op_a it e_blocks in
+         let af = op_a it f_term in
+         let g = Array.init m (fun i -> r_p.(i) -. ae.(i) +. af.(i)) in
+         let dy, df = solve_direction g in
+         let a_star_dy = op_a_star it dy in
+         let ds = Array.init nb (fun b -> Mat.sub r_d.(b) a_star_dy.(b)) in
+         let dx =
+           Array.init nb (fun b ->
+               Mat.symmetrize
+                 (Mat.sub e_blocks.(b) (Mat.mul x.(b) (Mat.mul ds.(b) s_inv.(b)))))
+         in
+         (dx, ds, dy, df)
+       in
+       (* Predictor: E = -X. *)
+       let e_aff = Array.map Mat.neg x in
+       let dx_a, ds_a, _, _ = direction e_aff in
+       let alpha_p_aff =
+         Array.init nb (fun b -> max_step ~frac:1.0 x.(b) x_chol.(b) dx_a.(b))
+         |> Array.fold_left Float.min 1.0
+       in
+       let alpha_d_aff =
+         Array.init nb (fun b -> max_step ~frac:1.0 s.(b) s_chol.(b) ds_a.(b))
+         |> Array.fold_left Float.min 1.0
+       in
+       let mu_aff =
+         Array.init nb (fun b ->
+             let xn = Mat.add x.(b) (Mat.scale alpha_p_aff dx_a.(b)) in
+             let sn = Mat.add s.(b) (Mat.scale alpha_d_aff ds_a.(b)) in
+             Mat.frob_dot xn sn)
+         |> Array.fold_left ( +. ) 0.0
+         |> fun t -> t /. n_total
+       in
+       let sigma =
+         let r = mu_aff /. Float.max mu 1e-300 in
+         Float.min 0.9 (Float.max 1e-6 (r *. r *. r))
+       in
+       (* Corrector: E = sigma*mu*Sinv - X - dXa dSa Sinv. *)
+       let e_corr =
+         Array.init nb (fun b ->
+             let corr = Mat.mul dx_a.(b) (Mat.mul ds_a.(b) s_inv.(b)) in
+             Mat.sub (Mat.sub (Mat.scale (sigma *. mu) s_inv.(b)) x.(b)) corr)
+       in
+       let dx, ds, dy, df = direction e_corr in
+       let alpha_p =
+         Array.init nb (fun b -> max_step ~frac:params.step_frac x.(b) x_chol.(b) dx.(b))
+         |> Array.fold_left Float.min 1.0
+       in
+       let alpha_d =
+         Array.init nb (fun b -> max_step ~frac:params.step_frac s.(b) s_chol.(b) ds.(b))
+         |> Array.fold_left Float.min 1.0
+       in
+       if alpha_p < 1e-10 && alpha_d < 1e-10 then
+         raise (Done (if !best_score < 1e-4 then classify_best iter else result Numerical_failure iter));
+       for b = 0 to nb - 1 do
+         x.(b) <- Mat.symmetrize (Mat.add x.(b) (Mat.scale alpha_p dx.(b)));
+         s.(b) <- Mat.symmetrize (Mat.add s.(b) (Mat.scale alpha_d ds.(b)))
+       done;
+       Vec.axpy alpha_d dy y;
+       Vec.axpy alpha_p df f
+     done;
+     (* Iteration limit: return the best iterate seen, suitably classified. *)
+     classify_best params.max_iter
+  with Done r -> r
+
+let to_sdpa p =
+  let buf = Buffer.create 4096 in
+  let m = Array.length p.constraints in
+  let nb = Array.length p.block_dims in
+  let nf = p.n_free in
+  (* Free variables become a diagonal block of size 2*nf (u - v split). *)
+  let nblocks = if nf > 0 then nb + 1 else nb in
+  Buffer.add_string buf (Printf.sprintf "%d = mDIM\n" m);
+  Buffer.add_string buf (Printf.sprintf "%d = nBLOCK\n" nblocks);
+  let dims =
+    Array.to_list (Array.map string_of_int p.block_dims)
+    @ (if nf > 0 then [ string_of_int (-2 * nf) ] else [])
+  in
+  Buffer.add_string buf ("(" ^ String.concat ", " dims ^ ") = bLOCKsTRUCT\n");
+  Buffer.add_string buf
+    (String.concat " "
+       (Array.to_list (Array.map (fun c -> Printf.sprintf "%.17g" c.rhs) p.constraints))
+    ^ "\n");
+  (* Entry lines: <matno> <blkno> <i> <j> <value>, 1-indexed; matno 0 is
+     the objective (SDPA convention: F0, with max tr(F0 Y) duality — we
+     emit C directly; sign conventions documented in the header). *)
+  let emit matno blk i j v =
+    if v <> 0.0 then
+      Buffer.add_string buf (Printf.sprintf "%d %d %d %d %.17g\n" matno (blk + 1) (i + 1) (j + 1) v)
+  in
+  List.iter (fun e -> emit 0 e.blk e.row e.col e.value) p.obj_blocks;
+  List.iter
+    (fun (k, v) ->
+      if nf > 0 then begin
+        emit 0 nb k k v;
+        emit 0 nb (nf + k) (nf + k) (-.v)
+      end)
+    p.obj_free;
+  Array.iteri
+    (fun idx c ->
+      let matno = idx + 1 in
+      List.iter (fun e -> emit matno e.blk e.row e.col e.value) c.lhs;
+      List.iter
+        (fun (k, v) ->
+          emit matno nb k k v;
+          emit matno nb (nf + k) (nf + k) (-.v))
+        c.free)
+    p.constraints;
+  Buffer.contents buf
+
+let feasibility_margin p sol =
+  let worst = ref 0.0 in
+  Array.iter
+    (fun c ->
+      let v = ref (-.c.rhs) in
+      List.iter
+        (fun e ->
+          let x = sol.x_blocks.(e.blk) in
+          let t =
+            if e.row = e.col then e.value *. Mat.get x e.row e.col
+            else e.value *. (Mat.get x e.row e.col +. Mat.get x e.col e.row)
+          in
+          v := !v +. t)
+        c.lhs;
+      List.iter (fun (k, w) -> v := !v +. (w *. sol.f.(k))) c.free;
+      worst := Float.max !worst (Float.abs !v))
+    p.constraints;
+  !worst

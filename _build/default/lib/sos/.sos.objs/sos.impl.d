@@ -1,0 +1,1 @@
+lib/sos/sos.ml: Array Dvar Float Int Lexpr Linalg List Logs Poly Ppoly Sdp Set String

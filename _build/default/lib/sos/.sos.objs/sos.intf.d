@@ -1,0 +1,1 @@
+lib/sos/sos.mli: Dvar Lexpr Linalg Poly Ppoly Sdp

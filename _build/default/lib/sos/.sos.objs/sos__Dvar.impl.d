@@ -1,0 +1,1 @@
+lib/sos/dvar.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/sos/lexpr.ml: Dvar Float Format List Map

@@ -1,0 +1,1 @@
+lib/sos/lexpr.mli: Dvar Format

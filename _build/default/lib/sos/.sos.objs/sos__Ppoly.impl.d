@@ -1,0 +1,1 @@
+lib/sos/ppoly.ml: Array Float Format Int Lexpr List Map Poly Printf

@@ -1,0 +1,1 @@
+lib/sos/ppoly.mli: Dvar Format Lexpr Poly

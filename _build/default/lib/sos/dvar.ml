@@ -1,0 +1,9 @@
+type t = Free of int | Gram of int * int * int
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Free i -> Format.fprintf ppf "t%d" i
+  | Gram (b, i, j) -> Format.fprintf ppf "G%d[%d,%d]" b i j

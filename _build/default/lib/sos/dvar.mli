@@ -1,0 +1,19 @@
+(** Scalar decision variables of an SOS program.
+
+    Two kinds exist: free scalars (e.g. the unknown coefficients of a
+    parametric polynomial, or an objective like a level value) and
+    entries of a Gram matrix backing an SOS-constrained polynomial.
+    Both map directly onto the {!Sdp} problem: free scalars become SDP
+    free variables, Gram entries become entries of a PSD block. *)
+
+type t =
+  | Free of int  (** index into the SDP free-variable vector *)
+  | Gram of int * int * int
+      (** [(block, row, col)] with [row <= col] — an entry of PSD block
+          [block] *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

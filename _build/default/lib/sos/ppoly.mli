@@ -1,0 +1,73 @@
+(** Parametric polynomials: polynomials in the state variables whose
+    coefficients are affine expressions ({!Lexpr}) in the decision
+    variables of an SOS program.
+
+    The ring operations keep everything affine in the decision
+    variables; there is deliberately no [mul : t -> t -> t] because the
+    product of two parametric polynomials is bilinear, which SOS
+    programming cannot express (the paper handles the one bilinear spot —
+    level maximization and advection precision — by bisection on a scalar,
+    which keeps each solve linear). *)
+
+type t
+
+val nvars : t -> int
+(** Arity in the state variables. *)
+
+val zero : int -> t
+
+val of_poly : Poly.t -> t
+(** Constant-coefficient polynomial as a parametric one. *)
+
+val of_terms : int -> (Poly.Monomial.t * Lexpr.t) list -> t
+(** Build from (monomial, coefficient-expression) pairs. *)
+
+val coeff : t -> Poly.Monomial.t -> Lexpr.t
+(** Coefficient expression of a monomial ([Lexpr.zero] if absent). *)
+
+val terms : t -> (Poly.Monomial.t * Lexpr.t) list
+(** Terms in monomial order; identically-zero coefficients omitted. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+
+val scale_expr : Lexpr.t -> Poly.t -> t
+(** [scale_expr e p] is the parametric polynomial [e * p] for a constant
+    polynomial [p] — e.g. [β * 1] when maximizing a level [β]. *)
+
+val mul_poly : Poly.t -> t -> t
+(** Product with a constant-coefficient polynomial. *)
+
+val partial : int -> t -> t
+(** Partial derivative in state variable [i]. *)
+
+val apply_poly_map : Poly.t array -> t -> t
+(** [apply_poly_map q p] substitutes the constant-coefficient polynomial
+    [q.(i)] for state variable [i] — e.g. composing a parametric front
+    with an exact affine flow map. The result's arity is the common
+    arity of the [q.(i)]. *)
+
+val fix_var : int -> float -> t -> t
+(** [fix_var i c p] substitutes the constant [c] for state variable [i]
+    (the arity is unchanged; variable [i] simply no longer occurs).
+    Used to restrict certificates to switching surfaces such as
+    [θ = θ_on]. *)
+
+val lie_derivative : t -> Poly.t array -> t
+(** [lie_derivative p f] is [∇p · f] along a constant-coefficient vector
+    field. *)
+
+val min_degree : t -> int
+(** Smallest total degree of a (potentially) non-zero monomial; [max_int]
+    for the zero polynomial. *)
+
+val max_degree : t -> int
+(** Largest such degree; [-1] for the zero polynomial. *)
+
+val value : (Dvar.t -> float) -> t -> Poly.t
+(** Instantiate the coefficients under an assignment of the decision
+    variables. *)
+
+val pp : Format.formatter -> t -> unit

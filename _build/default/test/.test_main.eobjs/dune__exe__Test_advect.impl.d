@@ -1,0 +1,1 @@
+test/test_advect.ml: Advect Alcotest Array Certificates Float Lazy List Pll Poly

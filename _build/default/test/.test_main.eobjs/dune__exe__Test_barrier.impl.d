@@ -1,0 +1,1 @@
+test/test_barrier.ml: Alcotest Array Barrier Certificates Float Hybrid Lazy Pll Poly Random

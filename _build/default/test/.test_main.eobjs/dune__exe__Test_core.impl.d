@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Certificates Float Format Hybrid List Pll Pll_core Random String

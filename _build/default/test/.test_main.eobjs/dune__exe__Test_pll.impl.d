@@ -1,0 +1,1 @@
+test/test_pll.ml: Alcotest Array Float Hybrid Interval List Pll Poly

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Float Linalg List Poly QCheck QCheck_alcotest

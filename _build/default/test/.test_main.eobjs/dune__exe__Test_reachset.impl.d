@@ -1,0 +1,1 @@
+test/test_reachset.ml: Alcotest Float Interval Lazy Pll Reachset

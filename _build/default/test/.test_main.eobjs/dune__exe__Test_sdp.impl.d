@@ -1,0 +1,1 @@
+test/test_sdp.ml: Alcotest Array Linalg List Printf Random Sdp String

@@ -1,0 +1,1 @@
+test/test_sos.ml: Alcotest Array Linalg List Poly Sos

@@ -1,0 +1,119 @@
+(* Tests for barrier certificates and disturbance rejection. *)
+
+let s3 = lazy (Pll.scale Pll.table1_third)
+
+let cfg4 = lazy { (Certificates.default_config Pll.Third) with Certificates.degree = 4 }
+
+let ai3 =
+  lazy
+    (match Certificates.attractive_invariant ~config:(Lazy.force cfg4) (Lazy.force s3) with
+    | Ok ai -> ai
+    | Error e -> failwith ("attractive_invariant failed: " ^ e))
+
+(* 1-D drift toward the origin: from |x| <= 1/2, the set |x| >= 1 is
+   never reached; B = x^2 - 0.75 is a valid barrier and the search must
+   find one. *)
+let test_generic_barrier_exists () =
+  let n = 1 in
+  let x = Poly.var n 0 in
+  let flow = [| Poly.neg x |] in
+  let domain = [ Poly.sub (Poly.const n 4.0) (Poly.mul x x) ] in
+  let init = [ Poly.sub (Poly.const n 0.25) (Poly.mul x x) ] in
+  let unsafe =
+    [ Poly.sub (Poly.mul x x) (Poly.one n); Poly.sub (Poly.const n 4.0) (Poly.mul x x) ]
+  in
+  match
+    Barrier.find_barrier ~nvars:n ~flows:[ flow ] ~domains:[ domain ] ~init ~unsafe ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok cert ->
+      (* Check the defining inequalities at sample points. *)
+      Alcotest.(check bool) "B <= 0 at 0" true (Poly.eval cert.Barrier.b [| 0.0 |] <= 1e-6);
+      Alcotest.(check bool) "B <= 0 at 0.4" true (Poly.eval cert.Barrier.b [| 0.4 |] <= 1e-6);
+      Alcotest.(check bool) "B > 0 at 1.5" true (Poly.eval cert.Barrier.b [| 1.5 |] > 0.0)
+
+(* Outward drift: from |x| <= 1/2 the system *does* reach |x| >= 1, so no
+   barrier can exist. *)
+let test_generic_barrier_impossible () =
+  let n = 1 in
+  let x = Poly.var n 0 in
+  let flow = [| x |] in
+  let domain = [ Poly.sub (Poly.const n 4.0) (Poly.mul x x) ] in
+  let init = [ Poly.sub (Poly.const n 0.25) (Poly.mul x x) ] in
+  let unsafe =
+    [ Poly.sub (Poly.mul x x) (Poly.one n); Poly.sub (Poly.const n 4.0) (Poly.mul x x) ]
+  in
+  match
+    Barrier.find_barrier ~nvars:n ~flows:[ flow ] ~domains:[ domain ] ~init ~unsafe ()
+  with
+  | Ok _ -> Alcotest.fail "unsound barrier for an unsafe system"
+  | Error _ -> ()
+
+let test_pll_voltage_safety () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let init_radii = [| 0.4; 0.4; 0.3 |] in
+  match Barrier.pll_voltage_safety ~v_limit:2.3 ~invariant:ai s ~init_radii with
+  | Error e -> Alcotest.fail e
+  | Ok cert ->
+      Alcotest.(check bool) "simulation validates" true
+        (Barrier.validate_barrier_by_simulation ~trials:15 ~invariant:ai s ~init_radii cert)
+
+let test_lock_retention () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  (* Find the certifiable disturbance scale first; the margin eps_decr of
+     the degree-4 certificates admits only small certified bounds. *)
+  let d_cert = Barrier.max_rejected_disturbance ~steps:4 s ai in
+  Alcotest.(check bool) "some disturbance certifiable" true (d_cert > 0.0);
+  match Barrier.lock_retention s ai ~d_max:(0.5 *. d_cert) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "positive level" true (r.Barrier.level > 0.0);
+      Alcotest.(check bool) "level at most beta" true
+        (r.Barrier.level <= ai.Certificates.beta +. 1e-9);
+      (* Simulate the disturbed loop from inside the certified set: it
+         must stay within it (checked on V of the active mode). *)
+      let pt = Pll.nominal s in
+      let dt = 1e-3 in
+      let x = ref [| 0.05; 0.05; 0.02 |] in
+      Alcotest.(check bool) "start inside" true
+        (Poly.eval ai.Certificates.cert.Certificates.vs.(Pll.off) !x < r.Barrier.level);
+      let rng = Random.State.make [| 9 |] in
+      let sound = ref true in
+      for _ = 1 to 20_000 do
+        (* worst-case-ish bang-bang disturbance *)
+        let d = if Random.State.bool rng then r.Barrier.d_max else -.r.Barrier.d_max in
+        let th = !x.(2) in
+        let m =
+          if Float.abs th <= s.Pll.theta_on then Pll.off
+          else if th > 0.0 then Pll.up
+          else Pll.down
+        in
+        let f = Pll.flow s pt m in
+        let fd =
+          Array.mapi (fun i p -> if i = 1 then Poly.add p (Poly.const 3 d) else p) f
+        in
+        x := Hybrid.rk4_step fd dt !x;
+        let th = !x.(2) in
+        let m =
+          if Float.abs th <= s.Pll.theta_on then Pll.off
+          else if th > 0.0 then Pll.up
+          else Pll.down
+        in
+        if Poly.eval ai.Certificates.cert.Certificates.vs.(m) !x > r.Barrier.level +. 1e-6 then
+          sound := false
+      done;
+      Alcotest.(check bool) "disturbed trajectory stays in certified set" true !sound
+
+let test_max_rejected_disturbance_positive () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let d = Barrier.max_rejected_disturbance ~steps:4 s ai in
+  Alcotest.(check bool) "some disturbance rejected" true (d > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "generic barrier exists" `Quick test_generic_barrier_exists;
+    Alcotest.test_case "generic barrier impossible" `Quick test_generic_barrier_impossible;
+    Alcotest.test_case "pll voltage safety" `Slow test_pll_voltage_safety;
+    Alcotest.test_case "lock retention under disturbance" `Slow test_lock_retention;
+    Alcotest.test_case "max rejected disturbance" `Slow test_max_rejected_disturbance_positive;
+  ]

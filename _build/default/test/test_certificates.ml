@@ -1,0 +1,208 @@
+(* Tests of the certificate machinery: multiple Lyapunov search, level
+   maximization, escape certificates and figure extraction.
+
+   The heavy searches are shared through a lazily computed degree-4
+   attractive invariant of the third-order PLL. *)
+
+let s3 = lazy (Pll.scale Pll.table1_third)
+
+let cfg4 =
+  lazy { (Certificates.default_config Pll.Third) with Certificates.degree = 4 }
+
+let ai3 =
+  lazy
+    (match Certificates.attractive_invariant ~config:(Lazy.force cfg4) (Lazy.force s3) with
+    | Ok ai -> ai
+    | Error e -> failwith ("attractive_invariant failed: " ^ e))
+
+let test_default_config () =
+  Alcotest.(check int) "3rd order degree" 6 (Certificates.default_config Pll.Third).Certificates.degree;
+  Alcotest.(check int) "4th order degree" 4 (Certificates.default_config Pll.Fourth).Certificates.degree
+
+let sample_in_mode s rng m =
+  let n = s.Pll.nvars in
+  let theta = Pll.theta_index s in
+  let rec go tries =
+    if tries = 0 then None
+    else begin
+      let x =
+        Array.init n (fun i ->
+            let b = if i = theta then s.Pll.theta_max else s.Pll.w_max in
+            (Random.State.float rng 2.0 -. 1.0) *. b)
+      in
+      if List.for_all (fun g -> Poly.eval g x >= 0.0) (Pll.mode_domain s m) then Some x
+      else go (tries - 1)
+    end
+  in
+  go 500
+
+let test_lyapunov_positivity () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let rng = Random.State.make [| 1 |] in
+  for m = 0 to Pll.n_modes - 1 do
+    for _ = 1 to 50 do
+      match sample_in_mode s rng m with
+      | None -> ()
+      | Some x ->
+          let nrm = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x in
+          let v = Poly.eval ai.Certificates.cert.Certificates.vs.(m) x in
+          Alcotest.(check bool) "V >= eps|x|^2 on domain" true (v >= (0.009 *. nrm) -. 1e-9)
+    done
+  done
+
+let test_lyapunov_decrease () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let pt = Pll.nominal s in
+  let rng = Random.State.make [| 2 |] in
+  for m = 0 to Pll.n_modes - 1 do
+    let f = Pll.flow s pt m in
+    for _ = 1 to 50 do
+      match sample_in_mode s rng m with
+      | None -> ()
+      | Some x ->
+          let vdot = Poly.eval (Poly.lie_derivative ai.Certificates.cert.Certificates.vs.(m) f) x in
+          Alcotest.(check bool) "dV/dt <= 0 on domain" true (vdot <= 1e-7)
+    done
+  done
+
+let test_jump_non_increase () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let rng = Random.State.make [| 3 |] in
+  List.iter
+    (fun (src, dst, h, dir) ->
+      ignore h;
+      (* Sample the half-surface theta = ±theta_on with the crossing
+         direction. *)
+      for _ = 1 to 50 do
+        let x =
+          [|
+            (Random.State.float rng 2.0 -. 1.0) *. s.Pll.w_max;
+            (Random.State.float rng 2.0 -. 1.0) *. s.Pll.w_max;
+            0.0;
+          |]
+        in
+        let theta_star = if dst = Pll.up || src = Pll.up then s.Pll.theta_on else -.s.Pll.theta_on in
+        x.(2) <- theta_star;
+        if List.for_all (fun d -> Poly.eval d x >= 0.0) dir then begin
+          let vs = Poly.eval ai.Certificates.cert.Certificates.vs.(src) x in
+          let vd = Poly.eval ai.Certificates.cert.Certificates.vs.(dst) x in
+          Alcotest.(check bool) "V_dst <= V_src at switch" true (vd <= vs +. 1e-6 *. (1.0 +. Float.abs vs))
+        end
+      done)
+    (Pll.switching_surfaces s)
+
+let test_level_monotone () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  Alcotest.(check bool) "certified level passes" true
+    (Certificates.check_level s ai.Certificates.cert ai.Certificates.beta);
+  Alcotest.(check bool) "much larger level fails" false
+    (Certificates.check_level s ai.Certificates.cert (100.0 *. ai.Certificates.beta))
+
+let test_member () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  Alcotest.(check bool) "origin inside X1" true (Certificates.member s ai [| 0.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "far point outside X1" false
+    (Certificates.member s ai [| 10.0; 10.0; 10.0 |])
+
+let test_validate_by_simulation () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  Alcotest.(check bool) "certificate sound on sampled arcs" true
+    (Certificates.validate_by_simulation ~trials:10 s ai)
+
+let test_escape_drift () =
+  let n = 2 in
+  let x = Poly.var n 0 and y = Poly.var n 1 in
+  let disc = Poly.sub (Poly.one n) (Poly.add (Poly.mul x x) (Poly.mul y y)) in
+  (match
+     Certificates.find_escape ~deg:2 ~eps:0.1 ~nvars:n
+       ~flow:[| Poly.one n; Poly.zero n |]
+       ~domain:[ disc ] ()
+   with
+  | Ok (e, _) ->
+      (* dE/dt = dE/dx must be <= -eps on the disc: check at samples. *)
+      let dex = Poly.partial 0 e in
+      List.iter
+        (fun (px, py) ->
+          Alcotest.(check bool) "decrease" true (Poly.eval dex [| px; py |] <= -0.099))
+        [ (0.0, 0.0); (0.5, 0.5); (-0.9, 0.0) ]
+  | Error m -> Alcotest.fail m)
+
+let test_escape_impossible () =
+  (* A region containing a stable equilibrium cannot be escaped. *)
+  let n = 2 in
+  let x = Poly.var n 0 and y = Poly.var n 1 in
+  let disc = Poly.sub (Poly.one n) (Poly.add (Poly.mul x x) (Poly.mul y y)) in
+  let flow = [| Poly.sub y x; Poly.sub (Poly.neg x) y |] in
+  match Certificates.find_escape ~deg:4 ~eps:0.1 ~nvars:n ~flow ~domain:[ disc ] () with
+  | Ok _ -> Alcotest.fail "unsound escape certificate"
+  | Error _ -> ()
+
+let test_level_curve_circle () =
+  (* V = x0^2 + x1^2, beta = 4: the level curve is the radius-2 circle. *)
+  let v = Poly.of_terms 2 [ (Poly.Monomial.of_exponents [ 2; 0 ], 1.0); (Poly.Monomial.of_exponents [ 0; 2 ], 1.0) ] in
+  let pts = Certificates.level_curve v ~beta:4.0 ~plane:(0, 1) ~nvars:2 ~n:8 in
+  Alcotest.(check int) "all rays hit" 8 (List.length pts);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (float 1e-6)) "radius 2" 2.0 (sqrt ((a *. a) +. (b *. b))))
+    pts
+
+let test_invariant_boundary_inside_box () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let pts = Certificates.invariant_boundary s ai ~plane:(0, 1) ~n:16 in
+  Alcotest.(check bool) "nonempty" true (List.length pts > 0);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "within verification box" true
+        (Float.abs a <= s.Pll.w_max +. 1e-6 && Float.abs b <= s.Pll.w_max +. 1e-6))
+    pts
+
+let test_upper_bound_on_set () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let small = Advect.ellipsoid_front s ~radii:[| 0.3; 0.3; 0.3 |] in
+  match Certificates.upper_bound_on_set s ai.Certificates.cert ~set:small with
+  | Error e -> Alcotest.fail e
+  | Ok bound ->
+      Alcotest.(check bool) "positive" true (bound > 0.0);
+      (* The bound must dominate sampled values of V on the set. *)
+      let rng = Random.State.make [| 2 |] in
+      for _ = 1 to 2000 do
+        let x = Array.init 3 (fun _ -> (Random.State.float rng 0.6) -. 0.3) in
+        if Poly.eval small x <= 0.0 then begin
+          let th = x.(2) in
+          let m =
+            if Float.abs th <= s.Pll.theta_on then Pll.off
+            else if th > 0.0 then Pll.up
+            else Pll.down
+          in
+          let v = Poly.eval ai.Certificates.cert.Certificates.vs.(m) x in
+          Alcotest.(check bool) "bound dominates" true (v <= bound +. 1e-6)
+        end
+      done
+
+let test_time_to_lock_bound () =
+  let s = Lazy.force s3 and ai = Lazy.force ai3 in
+  let beta = ai.Certificates.beta in
+  let t1 = Certificates.time_to_lock_bound s ai ~from_level:(1.5 *. beta) in
+  let t2 = Certificates.time_to_lock_bound s ai ~from_level:(3.0 *. beta) in
+  Alcotest.(check bool) "finite" true (Float.is_finite t1 && Float.is_finite t2);
+  Alcotest.(check bool) "monotone in level" true (t2 >= t1);
+  Alcotest.(check (float 1e-9)) "zero below beta" 0.0
+    (Certificates.time_to_lock_bound s ai ~from_level:(0.5 *. beta))
+
+let suite =
+  [
+    Alcotest.test_case "default config degrees" `Quick test_default_config;
+    Alcotest.test_case "upper bound on set" `Slow test_upper_bound_on_set;
+    Alcotest.test_case "time to lock bound" `Slow test_time_to_lock_bound;
+    Alcotest.test_case "escape exists for drift" `Quick test_escape_drift;
+    Alcotest.test_case "escape impossible at equilibrium" `Quick test_escape_impossible;
+    Alcotest.test_case "level curve of circle" `Quick test_level_curve_circle;
+    Alcotest.test_case "V positive on domains" `Slow test_lyapunov_positivity;
+    Alcotest.test_case "V decreases along flows" `Slow test_lyapunov_decrease;
+    Alcotest.test_case "V non-increasing at jumps" `Slow test_jump_non_increase;
+    Alcotest.test_case "level check monotone" `Slow test_level_monotone;
+    Alcotest.test_case "membership" `Slow test_member;
+    Alcotest.test_case "simulation validation" `Slow test_validate_by_simulation;
+    Alcotest.test_case "invariant boundary in box" `Slow test_invariant_boundary_inside_box;
+  ]

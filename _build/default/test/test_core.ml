@@ -1,0 +1,74 @@
+(* End-to-end tests of the inevitability verification facade. *)
+
+let test_default_radii_inside_domain () =
+  List.iter
+    (fun raw ->
+      let s = Pll.scale raw in
+      let radii = Pll_core.Inevitability.default_init_radii s in
+      Alcotest.(check int) "arity" s.Pll.nvars (Array.length radii);
+      Array.iteri
+        (fun i r ->
+          let bound = if i = Pll.theta_index s then s.Pll.theta_max else s.Pll.w_max in
+          Alcotest.(check bool) "radius within domain" true (r > 0.0 && r < bound))
+        radii)
+    [ Pll.table1_third; Pll.table1_fourth ]
+
+(* The X2 sizing invariant behind the advection encoding: trajectories
+   started in the default X2 must stay inside the verification box. *)
+let test_reach_from_x2_stays_in_box () =
+  let s = Pll.scale Pll.table1_third in
+  let radii = Pll_core.Inevitability.default_init_radii s in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  let theta = Pll.theta_index s in
+  let rng = Random.State.make [| 23 |] in
+  let checked = ref 0 in
+  while !checked < 40 do
+    let x0 = Array.init s.Pll.nvars (fun i -> (Random.State.float rng 2.0 -. 1.0) *. radii.(i)) in
+    let q =
+      Array.fold_left ( +. ) (-1.0)
+        (Array.mapi (fun i v -> (v /. radii.(i)) ** 2.0) x0)
+    in
+    if q <= 0.0 then begin
+      incr checked;
+      let th = x0.(theta) in
+      let m =
+        if Float.abs th <= s.Pll.theta_on then Pll.off
+        else if th > 0.0 then Pll.up
+        else Pll.down
+      in
+      let r = Hybrid.simulate ~dt:1e-3 sys ~mode0:m ~x0 ~t_max:60.0 in
+      List.iter
+        (fun (st : Hybrid.step) ->
+          let x = st.Hybrid.state in
+          Alcotest.(check bool) "theta in box" true
+            (Float.abs x.(theta) <= s.Pll.theta_max +. 1e-6);
+          for i = 0 to s.Pll.nvars - 2 do
+            Alcotest.(check bool) "voltage in box" true (Float.abs x.(i) <= s.Pll.w_max +. 1e-6)
+          done)
+        r.Hybrid.arc
+    end
+  done
+
+let test_verify_third_order () =
+  let s = Pll.scale Pll.table1_third in
+  let cert_config = { (Certificates.default_config Pll.Third) with Certificates.degree = 4 } in
+  match Pll_core.Inevitability.verify ~cert_config ~max_advect_iter:30 s with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "verified" true r.Pll_core.Inevitability.verified;
+      Alcotest.(check bool) "positive level" true
+        (r.Pll_core.Inevitability.invariant.Certificates.beta > 0.0);
+      (* Times are recorded for every Table-2 step. *)
+      Alcotest.(check bool) "invariant time recorded" true
+        (r.Pll_core.Inevitability.times.Pll_core.Inevitability.attractive_invariant_s > 0.0);
+      (* The report pretty-printer works. *)
+      let str = Format.asprintf "%a" Pll_core.Inevitability.pp_report r in
+      Alcotest.(check bool) "report mentions verification" true
+        (String.length str > 100)
+
+let suite =
+  [
+    Alcotest.test_case "default radii sane" `Quick test_default_radii_inside_domain;
+    Alcotest.test_case "reach from X2 stays in box" `Slow test_reach_from_x2_stays_in_box;
+    Alcotest.test_case "verify third order end-to-end" `Slow test_verify_third_order;
+  ]

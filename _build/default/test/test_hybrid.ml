@@ -1,0 +1,194 @@
+(* Tests for the hybrid-system formalism and its simulator. *)
+
+let p1 terms = Poly.of_terms 1 (List.map (fun (es, c) -> (Poly.Monomial.of_exponents es, c)) terms)
+
+let p2 terms = Poly.of_terms 2 (List.map (fun (es, c) -> (Poly.Monomial.of_exponents es, c)) terms)
+
+(* A bouncing-ball-like system: x0 = height-ish state decaying in mode 0;
+   when x0 falls to 0, jump to mode 1 with x0 reset to half. *)
+let two_mode_system () =
+  let decay = [| p1 [ ([ 0 ], -1.0) ] |] in
+  (* constant flow -1 *)
+  let grow = [| p1 [ ([ 0 ], 0.0); ([ 1 ], 0.0) ] |] in
+  ignore grow;
+  let m0 =
+    { Hybrid.mode_id = 0; mode_name = "fall"; flow = decay; invariant = [ p1 [ ([ 1 ], 1.0) ] ] }
+  in
+  let m1 =
+    {
+      Hybrid.mode_id = 1;
+      mode_name = "stopped";
+      flow = [| p1 [] |];
+      invariant = [];
+    }
+  in
+  let tr =
+    {
+      Hybrid.src = 0;
+      dst = 1;
+      guard = [ p1 [ ([ 1 ], -1.0); ([ 0 ], 0.2) ] ];
+      (* -x + 0.2 >= 0, i.e. x <= 0.2 *)
+      urgent_when = Some (p1 [ ([ 1 ], -1.0); ([ 0 ], 0.2) ]);
+      reset = [| p1 [ ([ 0 ], 0.5) ] |];
+    }
+  in
+  Hybrid.make ~nvars:1 ~modes:[ m0; m1 ] ~transitions:[ tr ] ()
+
+let test_make_validation () =
+  Alcotest.check_raises "bad mode order"
+    (Invalid_argument "Hybrid.make: mode ids must be 0..n-1 in order") (fun () ->
+      ignore
+        (Hybrid.make ~nvars:1
+           ~modes:
+             [ { Hybrid.mode_id = 1; mode_name = "x"; flow = [| p1 [] |]; invariant = [] } ]
+           ~transitions:[] ()))
+
+let test_identity_reset () =
+  let id = Hybrid.identity_reset 3 in
+  let x = [| 1.0; -2.0; 0.5 |] in
+  Array.iteri
+    (fun i p -> Alcotest.(check (float 1e-12)) "identity" x.(i) (Poly.eval p x))
+    id
+
+let test_rk4_exponential () =
+  (* dx = -x from 1: after t = 1, x = e^{-1}. *)
+  let f = [| p1 [ ([ 1 ], -1.0) ] |] in
+  let x = ref [| 1.0 |] in
+  let steps = 100 in
+  for _ = 1 to steps do
+    x := Hybrid.rk4_step f (1.0 /. float_of_int steps) !x
+  done;
+  Alcotest.(check (float 1e-8)) "e^-1" (exp (-1.0)) !x.(0)
+
+let test_rk4_rotation () =
+  (* Rotation preserves the norm; RK4 should too, to high order. *)
+  let f = [| p2 [ ([ 0; 1 ], -1.0) ]; p2 [ ([ 1; 0 ], 1.0) ] |] in
+  let x = ref [| 1.0; 0.0 |] in
+  for _ = 1 to 628 do
+    x := Hybrid.rk4_step f 0.01 !x
+  done;
+  let norm = sqrt ((!x.(0) *. !x.(0)) +. (!x.(1) *. !x.(1))) in
+  Alcotest.(check (float 1e-6)) "norm preserved" 1.0 norm
+
+let test_simulation_jump () =
+  let sys = two_mode_system () in
+  let r = Hybrid.simulate ~dt:1e-3 sys ~mode0:0 ~x0:[| 1.0 |] ~t_max:2.0 in
+  Alcotest.(check int) "one jump" 1 r.Hybrid.jumps;
+  Alcotest.(check int) "final mode" 1 r.Hybrid.final.Hybrid.mode_at;
+  Alcotest.(check (float 1e-3)) "reset applied" 0.5 r.Hybrid.final.Hybrid.state.(0);
+  Alcotest.(check bool) "not blocked" false r.Hybrid.blocked;
+  (* The crossing happened near x = 0.2, i.e. t ≈ 0.8. *)
+  let crossing =
+    List.find (fun (st : Hybrid.step) -> st.Hybrid.j = 1) r.Hybrid.arc
+  in
+  Alcotest.(check (float 1e-2)) "crossing time" 0.8 crossing.Hybrid.t
+
+let test_hybrid_time_domain_monotone () =
+  let sys = two_mode_system () in
+  let r = Hybrid.simulate ~dt:1e-3 sys ~mode0:0 ~x0:[| 1.0 |] ~t_max:2.0 in
+  (* (t, j) must be lexicographically non-decreasing along the arc. *)
+  let ok = ref true in
+  let _ =
+    List.fold_left
+      (fun (pt, pj) (st : Hybrid.step) ->
+        if st.Hybrid.t < pt -. 1e-12 then ok := false;
+        if st.Hybrid.t = pt && st.Hybrid.j < pj then ok := false;
+        (st.Hybrid.t, st.Hybrid.j))
+      (0.0, 0) r.Hybrid.arc
+  in
+  Alcotest.(check bool) "hybrid time domain monotone" true !ok
+
+let test_equilibrium () =
+  let s = Pll.scale Pll.table1_third in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  Alcotest.(check bool) "origin is equilibrium of off mode" true
+    (Hybrid.is_equilibrium sys Pll.off [| 0.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "origin is not equilibrium of up mode" false
+    (Hybrid.is_equilibrium sys Pll.up [| 0.0; 0.0; 0.0 |])
+
+let test_flow_set_membership () =
+  let s = Pll.scale Pll.table1_third in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  Alcotest.(check bool) "inside off" true (Hybrid.in_flow_set sys Pll.off [| 0.0; 0.0; 0.5 |]);
+  Alcotest.(check bool) "outside off" false
+    (Hybrid.in_flow_set sys Pll.off [| 0.0; 0.0; 1.5 |])
+
+(* A Zeno-like two-mode chatterer: modes bounce the state across x = 0 with
+   identity resets; max_jumps must bound the simulation. *)
+let test_max_jumps_cutoff () =
+  let flow_right = [| p1 [ ([ 0 ], 1.0) ] |] in
+  let flow_left = [| p1 [ ([ 0 ], -1.0) ] |] in
+  let m0 = { Hybrid.mode_id = 0; mode_name = "right"; flow = flow_right; invariant = [] } in
+  let m1 = { Hybrid.mode_id = 1; mode_name = "left"; flow = flow_left; invariant = [] } in
+  let cross p = Some p in
+  let sys =
+    Hybrid.make ~nvars:1 ~modes:[ m0; m1 ]
+      ~transitions:
+        [
+          {
+            Hybrid.src = 0;
+            dst = 1;
+            guard = [ p1 [ ([ 1 ], 1.0); ([ 0 ], -0.1) ] ];
+            urgent_when = cross (p1 [ ([ 1 ], 1.0); ([ 0 ], -0.1) ]);
+            reset = Hybrid.identity_reset 1;
+          };
+          {
+            Hybrid.src = 1;
+            dst = 0;
+            guard = [ p1 [ ([ 1 ], -1.0); ([ 0 ], -0.1) ] ];
+            urgent_when = cross (p1 [ ([ 1 ], -1.0); ([ 0 ], -0.1) ]);
+            reset = Hybrid.identity_reset 1;
+          };
+        ]
+      ()
+  in
+  let r = Hybrid.simulate ~dt:1e-3 ~max_jumps:25 sys ~mode0:0 ~x0:[| 0.0 |] ~t_max:1000.0 in
+  Alcotest.(check int) "jump budget respected" 25 r.Hybrid.jumps
+
+let test_blocked_detection () =
+  (* Invariant fails, no enabled transition: the solution is blocked. *)
+  let m0 =
+    {
+      Hybrid.mode_id = 0;
+      mode_name = "doomed";
+      flow = [| p1 [ ([ 0 ], 1.0) ] |];
+      invariant = [ p1 [ ([ 1 ], -1.0); ([ 0 ], 1.0) ] ] (* x <= 1 *);
+    }
+  in
+  let sys = Hybrid.make ~nvars:1 ~modes:[ m0 ] ~transitions:[] () in
+  let r = Hybrid.simulate ~dt:1e-2 sys ~mode0:0 ~x0:[| 0.0 |] ~t_max:10.0 in
+  Alcotest.(check bool) "blocked" true r.Hybrid.blocked;
+  Alcotest.(check bool) "stopped near the boundary" true (r.Hybrid.final.Hybrid.t < 1.5)
+
+let test_crossing_precision () =
+  (* Crossing time of a linear guard under constant flow is found to
+     bisection precision within the step. *)
+  let m0 =
+    { Hybrid.mode_id = 0; mode_name = "run"; flow = [| p1 [ ([ 0 ], 1.0) ] |]; invariant = [] }
+  in
+  let m1 = { Hybrid.mode_id = 1; mode_name = "done"; flow = [| p1 [] |]; invariant = [] } in
+  let g = p1 [ ([ 1 ], 1.0); ([ 0 ], -0.777) ] in
+  let sys =
+    Hybrid.make ~nvars:1 ~modes:[ m0; m1 ]
+      ~transitions:
+        [ { Hybrid.src = 0; dst = 1; guard = [ g ]; urgent_when = Some g; reset = Hybrid.identity_reset 1 } ]
+      ()
+  in
+  let r = Hybrid.simulate ~dt:0.05 sys ~mode0:0 ~x0:[| 0.0 |] ~t_max:2.0 in
+  let crossing = List.find (fun (st : Hybrid.step) -> st.Hybrid.j = 1) r.Hybrid.arc in
+  Alcotest.(check (float 1e-6)) "crossing state" 0.777 crossing.Hybrid.state.(0)
+
+let suite =
+  [
+    Alcotest.test_case "max jumps cutoff" `Quick test_max_jumps_cutoff;
+    Alcotest.test_case "blocked detection" `Quick test_blocked_detection;
+    Alcotest.test_case "crossing precision" `Quick test_crossing_precision;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "identity reset" `Quick test_identity_reset;
+    Alcotest.test_case "rk4 exponential" `Quick test_rk4_exponential;
+    Alcotest.test_case "rk4 rotation" `Quick test_rk4_rotation;
+    Alcotest.test_case "simulation with jump" `Quick test_simulation_jump;
+    Alcotest.test_case "hybrid time domain" `Quick test_hybrid_time_domain_monotone;
+    Alcotest.test_case "equilibrium detection" `Quick test_equilibrium;
+    Alcotest.test_case "flow set membership" `Quick test_flow_set_membership;
+  ]

@@ -1,0 +1,86 @@
+(* Tests for interval arithmetic and boxes. *)
+
+let iv = Interval.make
+
+let test_basics () =
+  let a = iv 1.0 2.0 in
+  Alcotest.(check (float 1e-12)) "mid" 1.5 (Interval.mid a);
+  Alcotest.(check (float 1e-12)) "width" 1.0 (Interval.width a);
+  Alcotest.(check bool) "mem" true (Interval.mem 1.5 a);
+  Alcotest.(check bool) "not mem" false (Interval.mem 2.5 a);
+  Alcotest.(check bool) "subset" true (Interval.subset (iv 1.2 1.8) a)
+
+let test_bad_bounds () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (iv 2.0 1.0))
+
+let test_arith () =
+  let a = iv 1.0 2.0 and b = iv (-1.0) 3.0 in
+  Alcotest.(check bool) "add" true (Interval.equal (Interval.add a b) (iv 0.0 5.0));
+  Alcotest.(check bool) "sub" true (Interval.equal (Interval.sub a b) (iv (-2.0) 3.0));
+  Alcotest.(check bool) "mul mixed" true (Interval.equal (Interval.mul a b) (iv (-2.0) 6.0));
+  Alcotest.(check bool) "neg" true (Interval.equal (Interval.neg a) (iv (-2.0) (-1.0)));
+  Alcotest.(check bool) "div" true (Interval.equal (Interval.div (iv 1.0 1.0) a) (iv 0.5 1.0))
+
+let test_div_by_zero_interval () =
+  Alcotest.check_raises "contains zero" (Invalid_argument "Interval.inv: interval contains zero")
+    (fun () -> ignore (Interval.div (iv 1.0 2.0) (iv (-1.0) 1.0)))
+
+let test_hull_intersect () =
+  let a = iv 0.0 2.0 and b = iv 1.0 3.0 in
+  Alcotest.(check bool) "hull" true (Interval.equal (Interval.hull a b) (iv 0.0 3.0));
+  (match Interval.intersect a b with
+  | Some c -> Alcotest.(check bool) "intersect" true (Interval.equal c (iv 1.0 2.0))
+  | None -> Alcotest.fail "must intersect");
+  Alcotest.(check bool) "disjoint" true (Interval.intersect (iv 0.0 1.0) (iv 2.0 3.0) = None)
+
+let test_sample () =
+  let pts = Interval.sample (iv 0.0 1.0) 3 in
+  Alcotest.(check (list (float 1e-12))) "samples" [ 0.0; 0.5; 1.0 ] pts
+
+let test_box () =
+  let b = [| iv 0.0 1.0; iv (-1.0) 1.0 |] in
+  Alcotest.(check int) "dim" 2 (Interval.Box.dim b);
+  Alcotest.(check bool) "mid" true (Interval.Box.mid b = [| 0.5; 0.0 |]);
+  Alcotest.(check bool) "mem" true (Interval.Box.mem [| 0.5; 0.5 |] b);
+  Alcotest.(check int) "corners" 4 (List.length (Interval.Box.corners b));
+  Alcotest.(check int) "grid" 9 (List.length (Interval.Box.sample_grid b 3))
+
+(* Properties: containment monotonicity of interval arithmetic. *)
+
+let arb_iv =
+  QCheck.make
+    QCheck.Gen.(
+      pair (float_bound_inclusive 5.0) (float_bound_inclusive 5.0)
+      |> map (fun (a, b) -> if a <= b then iv a b else iv b a))
+
+let arb_pt = QCheck.make QCheck.Gen.(float_bound_inclusive 1.0)
+
+let pick t iv_ = Interval.lo iv_ +. (t *. Interval.width iv_)
+
+let prop_mul_contains =
+  QCheck.Test.make ~name:"x∈a, y∈b => x*y ∈ a*b" ~count:300
+    (QCheck.quad arb_iv arb_iv arb_pt arb_pt)
+    (fun (a, b, tx, ty) ->
+      let x = pick tx a and y = pick ty b in
+      Interval.mem (x *. y) (Interval.mul a b))
+
+let prop_add_contains =
+  QCheck.Test.make ~name:"x∈a, y∈b => x+y ∈ a+b" ~count:300
+    (QCheck.quad arb_iv arb_iv arb_pt arb_pt)
+    (fun (a, b, tx, ty) ->
+      let x = pick tx a and y = pick ty b in
+      Interval.mem (x +. y) (Interval.add a b))
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "bad bounds" `Quick test_bad_bounds;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "division by zero interval" `Quick test_div_by_zero_interval;
+    Alcotest.test_case "hull and intersect" `Quick test_hull_intersect;
+    Alcotest.test_case "sampling" `Quick test_sample;
+    Alcotest.test_case "boxes" `Quick test_box;
+    QCheck_alcotest.to_alcotest prop_mul_contains;
+    QCheck_alcotest.to_alcotest prop_add_contains;
+  ]

@@ -1,0 +1,191 @@
+(* Tests of the CP PLL models: scaling, mode structure, lock behaviour. *)
+
+let s3 () = Pll.scale Pll.table1_third
+
+let s4 () = Pll.scale Pll.table1_fourth
+
+let test_scaled_coefficients () =
+  let s = s3 () in
+  (* alpha = C2/C1 with the Table-1 intervals *)
+  Alcotest.(check bool) "alpha lo" true (Float.abs (Interval.lo s.Pll.alpha -. (6.1e-12 /. 2.2e-12)) < 1e-9);
+  Alcotest.(check bool) "alpha hi" true (Float.abs (Interval.hi s.Pll.alpha -. (6.4e-12 /. 1.98e-12)) < 1e-9);
+  (* iota is ~1 by construction of the voltage scale *)
+  Alcotest.(check bool) "iota near 1" true (Interval.mem 1.0 s.Pll.iota);
+  Alcotest.(check int) "nvars" 3 s.Pll.nvars;
+  Alcotest.(check int) "nvars 4th" 4 (s4 ()).Pll.nvars
+
+let test_nominal_in_box () =
+  let s = s3 () in
+  let p = Pll.nominal s in
+  Alcotest.(check bool) "alpha mid" true (Interval.mem p.Pll.alpha s.Pll.alpha);
+  Alcotest.(check bool) "kappa mid" true (Interval.mem p.Pll.kappa s.Pll.kappa)
+
+let test_vertices_count () =
+  let s = s3 () in
+  (* third order: rho and beta are degenerate point intervals *)
+  Alcotest.(check int) "2^3 vertices" 8 (List.length (Pll.vertices s));
+  let s = s4 () in
+  Alcotest.(check int) "2^5 vertices" 32 (List.length (Pll.vertices s))
+
+let test_flow_equilibrium () =
+  let s = s3 () in
+  let p = Pll.nominal s in
+  let f = Pll.flow s p Pll.off in
+  Array.iter
+    (fun fi -> Alcotest.(check (float 1e-12)) "flow vanishes at origin" 0.0 (Poly.eval fi [| 0.0; 0.0; 0.0 |]))
+    f;
+  (* pump is proportional to theta in the off mode *)
+  let d_at th = Poly.eval f.(1) [| 0.0; 0.0; th |] in
+  Alcotest.(check bool) "drive proportional" true
+    (Float.abs (d_at 0.5 -. (0.5 *. d_at 1.0)) < 1e-12)
+
+let test_up_mode_constant_drive () =
+  let s = s3 () in
+  let p = Pll.nominal s in
+  let f_up = Pll.flow s p Pll.up in
+  let d1 = Poly.eval f_up.(1) [| 0.0; 0.0; 1.2 |] and d2 = Poly.eval f_up.(1) [| 0.0; 0.0; 1.9 |] in
+  Alcotest.(check (float 1e-12)) "saturated drive independent of theta" d1 d2;
+  let f_down = Pll.flow s p Pll.down in
+  Alcotest.(check (float 1e-12)) "down is negated up drive"
+    (-.d1)
+    (Poly.eval f_down.(1) [| 0.0; 0.0; -1.5 |])
+
+let test_mode_domains () =
+  let s = s3 () in
+  let inside m x = List.for_all (fun g -> Poly.eval g x >= 0.0) (Pll.mode_domain s m) in
+  Alcotest.(check bool) "origin in off" true (inside Pll.off [| 0.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "origin not in up" false (inside Pll.up [| 0.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "theta=1.5 in up" true (inside Pll.up [| 0.0; 0.0; 1.5 |]);
+  Alcotest.(check bool) "theta=-1.5 in down" true (inside Pll.down [| 0.0; 0.0; -1.5 |]);
+  Alcotest.(check bool) "outside voltage box" false (inside Pll.off [| 3.0; 0.0; 0.0 |])
+
+let test_switching_surfaces () =
+  let s = s3 () in
+  let surfaces = Pll.switching_surfaces s in
+  Alcotest.(check int) "four surfaces" 4 (List.length surfaces);
+  List.iter
+    (fun (src, dst, h, _) ->
+      (* surface polynomials vanish at theta = ±theta_on *)
+      let theta = if dst = Pll.up || src = Pll.up then s.Pll.theta_on else -.s.Pll.theta_on in
+      let x = [| 0.5; -0.5; theta |] in
+      Alcotest.(check (float 1e-12)) "surface vanishes" 0.0 (Poly.eval h x))
+    surfaces
+
+let test_lock_from_many_states () =
+  let s = s3 () in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  List.iter
+    (fun x0 ->
+      let r = Hybrid.simulate ~dt:1e-3 sys ~mode0:Pll.off ~x0 ~t_max:120.0 in
+      Alcotest.(check bool) "locks" true (Pll.in_lock s r.Hybrid.final.Hybrid.state);
+      Alcotest.(check bool) "not blocked" false r.Hybrid.blocked)
+    [ [| 1.5; -1.2; 0.3 |]; [| -2.0; 1.0; 0.9 |]; [| 0.0; 2.0; -0.9 |] ]
+
+let test_lock_fourth_order () =
+  let s = s4 () in
+  let sys = Pll.hybrid_system s (Pll.nominal s) in
+  let r = Hybrid.simulate ~dt:2e-4 sys ~mode0:Pll.off ~x0:[| 0.4; -0.3; 0.2; 0.2 |] ~t_max:300.0 in
+  Alcotest.(check bool) "4th order locks" true (Pll.in_lock s r.Hybrid.final.Hybrid.state)
+
+let test_lock_at_parameter_vertices () =
+  let s = s3 () in
+  (* Robustness: the loop locks at every corner of the coefficient box. *)
+  List.iter
+    (fun p ->
+      let sys = Pll.hybrid_system s p in
+      let r = Hybrid.simulate ~dt:1e-3 sys ~mode0:Pll.off ~x0:[| 1.0; -1.0; 0.5 |] ~t_max:120.0 in
+      Alcotest.(check bool) "locks at vertex" true (Pll.in_lock s r.Hybrid.final.Hybrid.state))
+    (Pll.vertices s)
+
+(* The continuized PFD makes the piecewise vector field continuous across
+   the switching surfaces — the property that justifies identity resets
+   and the exact advection maps' O(h²) mode-mismatch bound. *)
+let test_flow_continuity_at_switch () =
+  List.iter
+    (fun raw ->
+      let s = Pll.scale raw in
+      let p = Pll.nominal s in
+      let n = s.Pll.nvars in
+      let theta = Pll.theta_index s in
+      let check at_theta m1 m2 =
+        let x = Array.make n 0.3 in
+        x.(theta) <- at_theta;
+        let f1 = Pll.flow s p m1 and f2 = Pll.flow s p m2 in
+        Array.iteri
+          (fun i p1 ->
+            Alcotest.(check (float 1e-9)) "flow continuous" (Poly.eval p1 x)
+              (Poly.eval f2.(i) x))
+          f1
+      in
+      check s.Pll.theta_on Pll.off Pll.up;
+      check (-.s.Pll.theta_on) Pll.off Pll.down)
+    [ Pll.table1_third; Pll.table1_fourth ]
+
+let test_containment_holds_at_interior () =
+  (* Containment constraints must hold strictly at points well inside a
+     mode's domain (they are the faces trajectories must not exit). *)
+  let s = Pll.scale Pll.table1_third in
+  let interior = [| 0.1; -0.1; 0.0 |] in
+  List.iter
+    (fun g -> Alcotest.(check bool) "interior strictly safe" true (Poly.eval g interior > 0.0))
+    (Pll.containment_constraints s Pll.off);
+  let outside = [| 3.0; 0.0; 0.0 |] in
+  Alcotest.(check bool) "outside violates some containment face" true
+    (List.exists (fun g -> Poly.eval g outside < 0.0) (Pll.containment_constraints s Pll.off))
+
+let test_scaled_dynamics_match_physical () =
+  (* The scaling is a similarity transform: simulating the scaled system
+     and rescaling must agree with simulating the physical equations
+     directly (third order, off mode, small step). *)
+  let s = Pll.scale Pll.table1_third in
+  let p = Pll.nominal s in
+  let f = Pll.flow s p Pll.off in
+  let x0 = [| 0.5; -0.25; 0.3 |] in
+  (* Physical ODE: dv1/dt = (v2-v1)/(R C1), dv2/dt = (v1-v2)/(R C2) + i/C2,
+     dθ/dt = -Kv v0 w2/(2π) with v = v0·w, t = t0·τ. *)
+  let r = Interval.mid Pll.table1_third.Pll.r in
+  let c1 = Interval.mid Pll.table1_third.Pll.c1 in
+  let c2 = Interval.mid Pll.table1_third.Pll.c2 in
+  let kv = Interval.mid Pll.table1_third.Pll.k_v in
+  let ip = Interval.mid Pll.table1_third.Pll.i_p in
+  let v1 = x0.(0) *. s.Pll.v0 and v2 = x0.(1) *. s.Pll.v0 in
+  let pump_phys = ip *. (x0.(2) /. s.Pll.theta_on) in
+  let dv1 = (v2 -. v1) /. (r *. c1) in
+  let dv2 = ((v1 -. v2) /. (r *. c2)) +. (pump_phys /. c2) in
+  let dth = -.(kv *. v2) /. (2.0 *. Float.pi) in
+  (* Scaled derivatives (per scaled time unit) mapped back to physical. *)
+  let dw = Array.map (fun q -> Poly.eval q x0) f in
+  (* The nominal point takes midpoints of the *scaled* interval
+     coefficients (mid(C2/C1) ≠ mid C2 / mid C1), so agreement is to
+     interval-width accuracy (~1%), not machine precision. *)
+  Alcotest.(check bool) "dv1 matches" true
+    (Float.abs (dv1 -. (dw.(0) *. s.Pll.v0 /. s.Pll.t0)) < 2e-2 *. Float.abs dv1);
+  Alcotest.(check bool) "dv2 matches" true
+    (Float.abs (dv2 -. (dw.(1) *. s.Pll.v0 /. s.Pll.t0)) < 2e-2 *. Float.abs dv2);
+  Alcotest.(check bool) "dtheta matches" true
+    (Float.abs (dth -. (dw.(2) /. s.Pll.t0)) < 2e-2 *. Float.abs dth)
+
+let test_to_physical () =
+  let s = s3 () in
+  let x = [| 1.0; -0.5; 0.7 |] in
+  let phys = Pll.to_physical s x in
+  Alcotest.(check (float 1e-9)) "voltage scaled" s.Pll.v0 phys.(0);
+  Alcotest.(check (float 1e-9)) "theta unscaled" 0.7 phys.(2)
+
+let suite =
+  [
+    Alcotest.test_case "scaled coefficients" `Quick test_scaled_coefficients;
+    Alcotest.test_case "nominal in box" `Quick test_nominal_in_box;
+    Alcotest.test_case "vertex count" `Quick test_vertices_count;
+    Alcotest.test_case "flow and equilibrium" `Quick test_flow_equilibrium;
+    Alcotest.test_case "saturated drive" `Quick test_up_mode_constant_drive;
+    Alcotest.test_case "mode domains" `Quick test_mode_domains;
+    Alcotest.test_case "switching surfaces" `Quick test_switching_surfaces;
+    Alcotest.test_case "third order locks" `Slow test_lock_from_many_states;
+    Alcotest.test_case "fourth order locks" `Slow test_lock_fourth_order;
+    Alcotest.test_case "locks at parameter vertices" `Slow test_lock_at_parameter_vertices;
+    Alcotest.test_case "flow continuity at switches" `Quick test_flow_continuity_at_switch;
+    Alcotest.test_case "containment faces behave" `Quick test_containment_holds_at_interior;
+    Alcotest.test_case "scaling matches physical ODE" `Quick test_scaled_dynamics_match_physical;
+    Alcotest.test_case "physical units" `Quick test_to_physical;
+  ]

@@ -1,0 +1,46 @@
+(* Tests of the reach-set baseline. *)
+
+let s3 = lazy (Pll.scale Pll.table1_third)
+
+let small_box : Interval.Box.t =
+  [| Interval.make (-0.3) 0.3; Interval.make (-0.3) 0.3; Interval.make (-0.2) 0.2 |]
+
+let test_interval_small_box_converges () =
+  let s = Lazy.force s3 in
+  let r = Reachset.interval_analysis ~dt:0.005 ~t_max:40.0 ~lock_tol:0.15 s ~init:small_box ~mode0:Pll.off in
+  (* A small box near lock should be driven into the lock region without
+     splitting explosion. *)
+  Alcotest.(check bool) "some work done" true (r.Reachset.iterations > 10);
+  Alcotest.(check bool) "set ops counted" true (r.Reachset.set_ops > 0)
+
+let test_interval_large_box_expensive () =
+  let s = Lazy.force s3 in
+  let init : Interval.Box.t =
+    [| Interval.make (-1.0) 1.0; Interval.make (-1.0) 1.0; Interval.make (-0.5) 0.5 |]
+  in
+  let r = Reachset.interval_analysis ~dt:0.01 ~t_max:60.0 s ~init ~mode0:Pll.off in
+  (* The big box either diverges (wrapping effect) or pays many set
+     operations — the paper's point about reach-set methods. *)
+  Alcotest.(check bool) "expensive or inconclusive" true
+    ((not r.Reachset.converged) || r.Reachset.set_ops > 500)
+
+let test_sampling_counts_transitions () =
+  let s = Lazy.force s3 in
+  let init : Interval.Box.t =
+    [| Interval.make (-1.0) 1.0; Interval.make (-1.0) 1.0; Interval.make (-0.5) 0.5 |]
+  in
+  let r = Reachset.sampling_analysis ~grid:3 ~t_max:100.0 s ~init in
+  Alcotest.(check int) "3^3 trajectories" 27 r.Reachset.n_trajectories;
+  Alcotest.(check bool) "all locked" true r.Reachset.all_locked;
+  Alcotest.(check bool) "transitions observed" true (r.Reachset.total_transitions > 0);
+  Alcotest.(check bool) "mean consistent" true
+    (Float.abs
+       ((r.Reachset.mean_transitions *. 27.0) -. float_of_int r.Reachset.total_transitions)
+    < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "interval small box" `Slow test_interval_small_box_converges;
+    Alcotest.test_case "interval large box expensive" `Slow test_interval_large_box_expensive;
+    Alcotest.test_case "sampling transition counts" `Slow test_sampling_counts_transitions;
+  ]

@@ -1,0 +1,283 @@
+(* Tests for the interior-point SDP solver: analytically solvable problems,
+   free-variable handling, and status reporting. *)
+
+module Mat = Linalg.Mat
+
+let check_float = Alcotest.(check (float 1e-5))
+
+let entry blk row col value = { Sdp.blk; row; col; value }
+
+(* min tr X s.t. X_00 = 1, X ⪰ 0 (2x2). Optimal: X = diag(1,0), obj 1. *)
+let test_min_trace () =
+  let p =
+    {
+      Sdp.block_dims = [| 2 |];
+      n_free = 0;
+      constraints = [| { Sdp.lhs = [ entry 0 0 0 1.0 ]; free = []; rhs = 1.0 } |];
+      obj_blocks = [ entry 0 0 0 1.0; entry 0 1 1 1.0 ];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  check_float "objective" 1.0 sol.Sdp.primal_obj;
+  check_float "X00" 1.0 (Mat.get sol.Sdp.x_blocks.(0) 0 0);
+  check_float "X11" 0.0 (Mat.get sol.Sdp.x_blocks.(0) 1 1)
+
+(* LP via 1x1 blocks: min x + y s.t. x + 2y = 3, x,y >= 0. Optimum 1.5. *)
+let test_lp_diag () =
+  let p =
+    {
+      Sdp.block_dims = [| 1; 1 |];
+      n_free = 0;
+      constraints =
+        [| { Sdp.lhs = [ entry 0 0 0 1.0; entry 1 0 0 2.0 ]; free = []; rhs = 3.0 } |];
+      obj_blocks = [ entry 0 0 0 1.0; entry 1 0 0 1.0 ];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  check_float "objective" 1.5 sol.Sdp.primal_obj;
+  check_float "x" 0.0 (Mat.get sol.Sdp.x_blocks.(0) 0 0);
+  check_float "y" 1.5 (Mat.get sol.Sdp.x_blocks.(1) 0 0)
+
+(* Smallest eigenvalue via free variable: min -t s.t. X + t I = A, X ⪰ 0.
+   At the optimum t = lambda_min(A). *)
+let test_min_eig_free_var () =
+  let a = Mat.of_arrays [| [| 2.0; 1.0; 0.0 |]; [| 1.0; 3.0; 0.5 |]; [| 0.0; 0.5; 1.5 |] |] in
+  let constraints = ref [] in
+  for i = 0 to 2 do
+    for j = i to 2 do
+      (* Off-diagonal entries contribute twice to <A, X>, so use weight 1/2
+         to pin X_ij itself. *)
+      let w = if i = j then 1.0 else 0.5 in
+      let lhs = [ entry 0 i j w ] in
+      let free = if i = j then [ (0, 1.0) ] else [] in
+      constraints := { Sdp.lhs; free; rhs = Mat.get a i j } :: !constraints
+    done
+  done;
+  let p =
+    {
+      Sdp.block_dims = [| 3 |];
+      n_free = 1;
+      constraints = Array.of_list (List.rev !constraints);
+      obj_blocks = [];
+      obj_free = [ (0, -1.0) ];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  let expected = Mat.min_eig a in
+  check_float "lambda_min" expected sol.Sdp.f.(0)
+
+(* Feasibility: X ⪰ 0, tr X = 1 — interior point exists; verify the
+   residual check helper agrees. *)
+let test_feasibility_margin () =
+  let p =
+    {
+      Sdp.block_dims = [| 3 |];
+      n_free = 0;
+      constraints =
+        [|
+          { Sdp.lhs = [ entry 0 0 0 1.0; entry 0 1 1 1.0; entry 0 2 2 1.0 ]; free = []; rhs = 1.0 };
+        |];
+      obj_blocks = [];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool)
+    "solved" true
+    (sol.Sdp.status = Sdp.Optimal || sol.Sdp.status = Sdp.Near_optimal);
+  Alcotest.(check bool) "margin small" true (Sdp.feasibility_margin p sol < 1e-6)
+
+(* Infeasible problem: x >= 0 (1x1 block) with x = -1. *)
+let test_infeasible () =
+  let p =
+    {
+      Sdp.block_dims = [| 1 |];
+      n_free = 0;
+      constraints = [| { Sdp.lhs = [ entry 0 0 0 1.0 ]; free = []; rhs = -1.0 } |];
+      obj_blocks = [];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool)
+    "not reported optimal" true
+    (sol.Sdp.status <> Sdp.Optimal)
+
+(* Correlation-like bound: X ⪰ 0, diag X = 1 (2x2), maximize X01: optimum 1. *)
+let test_correlation () =
+  let p =
+    {
+      Sdp.block_dims = [| 2 |];
+      n_free = 0;
+      constraints =
+        [|
+          { Sdp.lhs = [ entry 0 0 0 1.0 ]; free = []; rhs = 1.0 };
+          { Sdp.lhs = [ entry 0 1 1 1.0 ]; free = []; rhs = 1.0 };
+        |];
+      obj_blocks = [ entry 0 0 1 (-1.0) ];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  check_float "X01 = 1" 1.0 (Mat.get sol.Sdp.x_blocks.(0) 0 1)
+
+(* Dual multipliers: min <I,X> s.t. <I,X> = 1 gives y = 1 on the (scaled)
+   constraint; verify unscaled multipliers satisfy dual feasibility. *)
+let test_dual_feasibility () =
+  let p =
+    {
+      Sdp.block_dims = [| 2 |];
+      n_free = 0;
+      constraints =
+        [| { Sdp.lhs = [ entry 0 0 0 1.0; entry 0 1 1 1.0 ]; free = []; rhs = 1.0 } |];
+      obj_blocks = [ entry 0 0 0 1.0; entry 0 1 1 1.0 ];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  check_float "primal = dual" sol.Sdp.primal_obj sol.Sdp.dual_obj;
+  (* S = C - y A = (1 - y) I must be PSD with tr(XS) = 0 at optimum. *)
+  let y = sol.Sdp.y.(0) in
+  Alcotest.(check bool) "y <= 1" true (y <= 1.0 +. 1e-6)
+
+(* Lovász theta of the 5-cycle: the famous value sqrt(5).
+   theta(C5) = max <J, X> s.t. tr X = 1, X_ij = 0 for edges ij, X ⪰ 0. *)
+let test_lovasz_theta_c5 () =
+  let edges = [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4) ] in
+  let constraints =
+    { Sdp.lhs = List.init 5 (fun i -> entry 0 i i 1.0); free = []; rhs = 1.0 }
+    :: List.map (fun (i, j) -> { Sdp.lhs = [ entry 0 i j 1.0 ]; free = []; rhs = 0.0 }) edges
+  in
+  let all_ones =
+    List.concat (List.init 5 (fun i -> List.init (5 - i) (fun k -> entry 0 i (i + k) (-1.0))))
+  in
+  let p =
+    {
+      Sdp.block_dims = [| 5 |];
+      n_free = 0;
+      constraints = Array.of_list constraints;
+      obj_blocks = all_ones;
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  Alcotest.(check (float 1e-4)) "theta(C5) = sqrt 5" (sqrt 5.0) (-.sol.Sdp.primal_obj)
+
+(* Random strictly feasible SDPs: generate X0 ≻ 0, random A_i, set
+   b = A(X0); the solver must converge with small residuals. *)
+let test_random_feasible_battery () =
+  let rng = Random.State.make [| 41 |] in
+  for trial = 1 to 10 do
+    let n = 3 + Random.State.int rng 4 in
+    let m = 2 + Random.State.int rng 5 in
+    let x0 =
+      let b = Mat.init n n (fun _ _ -> Random.State.float rng 2.0 -. 1.0) in
+      Mat.add (Mat.mul b (Mat.transpose b)) (Mat.identity n)
+    in
+    let mats =
+      List.init m (fun _ ->
+          Mat.symmetrize (Mat.init n n (fun _ _ -> Random.State.float rng 2.0 -. 1.0)))
+    in
+    let constraints =
+      List.map
+        (fun a ->
+          let lhs = ref [] in
+          for i = 0 to n - 1 do
+            for j = i to n - 1 do
+              let v = Mat.get a i j in
+              if v <> 0.0 then lhs := entry 0 i j v :: !lhs
+            done
+          done;
+          { Sdp.lhs = !lhs; free = []; rhs = Mat.frob_dot a x0 })
+        mats
+    in
+    let p =
+      {
+        Sdp.block_dims = [| n |];
+        n_free = 0;
+        constraints = Array.of_list constraints;
+        obj_blocks = [ entry 0 0 0 1.0 ];
+        obj_free = [];
+      }
+    in
+    let sol = Sdp.solve p in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d converged" trial)
+      true
+      (sol.Sdp.status = Sdp.Optimal || sol.Sdp.status = Sdp.Near_optimal);
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d feasible" trial)
+      true
+      (Sdp.feasibility_margin p sol < 1e-5)
+  done
+
+(* The returned X must actually be PSD. *)
+let test_solution_psd () =
+  let p =
+    {
+      Sdp.block_dims = [| 3 |];
+      n_free = 0;
+      constraints =
+        [| { Sdp.lhs = [ entry 0 0 0 1.0; entry 0 1 1 1.0; entry 0 2 2 1.0 ]; free = []; rhs = 2.0 } |];
+      obj_blocks = [ entry 0 0 1 1.0; entry 0 1 2 (-1.0) ];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "X PSD" true (Mat.is_psd ~tol:1e-7 sol.Sdp.x_blocks.(0));
+  Alcotest.(check bool) "S PSD" true (Mat.is_psd ~tol:1e-7 sol.Sdp.s_blocks.(0))
+
+(* SDPA export: header structure and entry counts. *)
+let test_to_sdpa () =
+  let p =
+    {
+      Sdp.block_dims = [| 2 |];
+      n_free = 1;
+      constraints =
+        [| { Sdp.lhs = [ entry 0 0 0 1.0 ]; free = [ (0, 2.0) ]; rhs = 1.0 } |];
+      obj_blocks = [ entry 0 0 1 0.5 ];
+      obj_free = [ (0, -1.0) ];
+    }
+  in
+  let s = Sdp.to_sdpa p in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "mDIM" true (List.exists (fun l -> l = "1 = mDIM") lines);
+  Alcotest.(check bool) "nBLOCK includes free split" true
+    (List.exists (fun l -> l = "2 = nBLOCK") lines);
+  Alcotest.(check bool) "block struct" true
+    (List.exists (fun l -> l = "(2, -2) = bLOCKsTRUCT") lines);
+  (* constraint 1 contributes one PSD entry and two split entries: lines
+     of the form "1 <blk> <i> <j> <v>" *)
+  let entry_lines =
+    List.filter
+      (fun l ->
+        String.length (String.trim l) > 0
+        && (match String.split_on_char ' ' l with
+           | [ "1"; _; _; _; _ ] -> true
+           | _ -> false))
+      lines
+  in
+  Alcotest.(check int) "constraint entries" 3 (List.length entry_lines)
+
+let suite =
+  [
+    Alcotest.test_case "sdpa export" `Quick test_to_sdpa;
+    Alcotest.test_case "lovasz theta of C5" `Quick test_lovasz_theta_c5;
+    Alcotest.test_case "random feasible battery" `Quick test_random_feasible_battery;
+    Alcotest.test_case "solution PSD" `Quick test_solution_psd;
+    Alcotest.test_case "min trace with equality" `Quick test_min_trace;
+    Alcotest.test_case "LP via 1x1 blocks" `Quick test_lp_diag;
+    Alcotest.test_case "min eigenvalue via free variable" `Quick test_min_eig_free_var;
+    Alcotest.test_case "feasibility margin" `Quick test_feasibility_margin;
+    Alcotest.test_case "infeasible detection" `Quick test_infeasible;
+    Alcotest.test_case "correlation bound" `Quick test_correlation;
+    Alcotest.test_case "dual feasibility" `Quick test_dual_feasibility;
+  ]

@@ -1,0 +1,71 @@
+(* Replay stored proof artifacts through the exact certificate kernel.
+
+     dune exec bin/check_cert.exe -- certs.artifact
+     dune exec bin/check_cert.exe -- --quiet a.artifact b.artifact
+
+   Exit status 0 iff every certificate in every artifact is Proven.
+   This binary deliberately depends only on the exact kernel — no SDP
+   solver, no floating point: it is the independent audit path for
+   certificates produced by verify_pll / the examples. *)
+
+open Cmdliner
+
+let check_file quiet path =
+  match Exact.Artifact.load path with
+  | Error e ->
+      Format.printf "%s: ERROR %s@." path e;
+      false
+  | Ok artifact ->
+      if not quiet then begin
+        Format.printf "%s: artifact v%d, %d certificate(s)@." path
+          artifact.Exact.Artifact.version
+          (List.length artifact.Exact.Artifact.certs);
+        List.iter
+          (fun (k, v) -> Format.printf "  meta %s = %s@." k v)
+          artifact.Exact.Artifact.meta
+      end;
+      let verdicts = Exact.Artifact.check_all artifact in
+      let ok = ref true in
+      List.iter
+        (fun (name, v) ->
+          let proven = match v with Exact.Check.Proven _ -> true | _ -> false in
+          if not proven then ok := false;
+          if not quiet || not proven then
+            Format.printf "  %-28s %s@." name (Exact.Check.verdict_to_string v))
+        verdicts;
+      !ok
+
+let run quiet paths =
+  let ok = List.for_all (fun p -> check_file quiet p) paths in
+  if ok then begin
+    if not quiet then Format.printf "all certificates proven@.";
+    0
+  end
+  else begin
+    Format.printf "FAILED: unproven certificates@.";
+    1
+  end
+
+let quiet =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print failures.")
+
+let paths =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"ARTIFACT"
+         ~doc:"Proof artifact file(s) written by Exact.Artifact.")
+
+let cmd =
+  let doc = "exactly re-validate stored SOS proof artifacts" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Each artifact is parsed and every certificate in it is re-checked by the \
+         trusted kernel: the Positivstellensatz identity must hold \
+         coefficient-for-coefficient over the rationals, and every Gram matrix must \
+         pass an exact LDL^T positive-semidefiniteness test. No floating point is \
+         involved; a Proven verdict is machine-checked evidence.";
+    ]
+  in
+  Cmd.v (Cmd.info "check_cert" ~doc ~man) Term.(const run $ quiet $ paths)
+
+let () = exit (Cmd.eval' cmd)

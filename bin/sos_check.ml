@@ -8,7 +8,11 @@
 
 open Cmdliner
 
-let run nvars on_constraints expr =
+let run nvars on_constraints psd_tol eq_tol verbose expr =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
+  Logs.info (fun k ->
+      k "a posteriori tolerances: psd_tol %.2e, eq_tol %.2e" psd_tol eq_tol);
   let parse s =
     try Ok (Poly.of_string nvars s)
     with Invalid_argument m -> Error m
@@ -34,7 +38,7 @@ let run nvars on_constraints expr =
       | Ok domain ->
           let prob = Sos.create ~nvars in
           Sos.add_nonneg_on prob ~domain (Sos.Ppoly.of_poly p);
-          let sol = Sos.solve prob in
+          let sol = Sos.solve ~psd_tol ~eq_tol prob in
           if not sol.Sos.certified then begin
             Format.printf "NOT certified%s@."
               (if domain = [] then " as a sum of squares"
@@ -71,10 +75,23 @@ let on_constraints =
   Arg.(value & opt_all string [] & info [ "on" ] ~docv:"G"
          ~doc:"Restrict to the semialgebraic set {x | G(x) >= 0} (repeatable).")
 
+let psd_tol =
+  Arg.(value & opt float 1e-7 & info [ "psd-tol" ] ~docv:"TOL"
+         ~doc:"A-posteriori PSD tolerance: how far below zero the smallest Gram \
+               eigenvalue may dip and still count as certified.")
+
+let eq_tol =
+  Arg.(value & opt float 1e-5 & info [ "eq-tol" ] ~docv:"TOL"
+         ~doc:"A-posteriori equality tolerance on the decomposition residual, relative \
+               to constraint scale.")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log tolerances and solver progress.")
+
 let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"POLY")
 
 let cmd =
   let doc = "check sum-of-squares / semialgebraic nonnegativity of a polynomial" in
-  Cmd.v (Cmd.info "sos_check" ~doc) Term.(const run $ nvars $ on_constraints $ expr)
+  Cmd.v (Cmd.info "sos_check" ~doc)
+    Term.(const run $ nvars $ on_constraints $ psd_tol $ eq_tol $ verbose $ expr)
 
 let () = exit (Cmd.eval' cmd)

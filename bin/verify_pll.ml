@@ -10,7 +10,7 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
-let run order degree robust advect_iters validate verbose =
+let run order degree robust advect_iters validate psd_tol eq_tol verbose =
   setup_logs verbose;
   let raw, default_degree =
     match order with
@@ -20,11 +20,14 @@ let run order degree robust advect_iters validate verbose =
   let degree = Option.value degree ~default:default_degree in
   let s = Pll.scale raw in
   Format.printf "%a@.@." Pll.pp_scaled s;
+  let base = Certificates.default_config s.Pll.order in
   let cert_config =
     {
-      (Certificates.default_config s.Pll.order) with
+      base with
       Certificates.degree;
       robust_vertices = robust;
+      psd_tol = Option.value psd_tol ~default:base.Certificates.psd_tol;
+      eq_tol = Option.value eq_tol ~default:base.Certificates.eq_tol;
     }
   in
   match Pll_core.Inevitability.verify ~cert_config ~max_advect_iter:advect_iters s with
@@ -78,11 +81,25 @@ let validate =
          ~doc:"Monte-Carlo cross-check: simulate trajectories sampled in X1 and verify \
                certificate decrease and locking.")
 
+let psd_tol =
+  Arg.(value & opt (some float) None & info [ "psd-tol" ] ~docv:"TOL"
+         ~doc:"A-posteriori PSD tolerance: how far below zero the smallest Gram \
+               eigenvalue may dip for a float solution to still count as certified \
+               (default 1e-7).")
+
+let eq_tol =
+  Arg.(value & opt (some float) None & info [ "eq-tol" ] ~docv:"TOL"
+         ~doc:"A-posteriori equality tolerance on the SOS decomposition residual, \
+               relative to constraint scale (default 1e-5).")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log solver progress.")
 
 let cmd =
   let doc = "verify inevitability of phase-locking in a charge-pump PLL via SOS programming" in
   let info = Cmd.info "verify_pll" ~doc in
-  Cmd.v info Term.(const run $ order $ degree $ robust $ advect_iters $ validate $ verbose)
+  Cmd.v info
+    Term.(
+      const run $ order $ degree $ robust $ advect_iters $ validate $ psd_tol $ eq_tol
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -35,4 +35,50 @@ let () =
           report.Pll_core.Inevitability.invariant
       in
       Format.printf "@.simulation validation of X1: %b@." valid;
-      if not (report.Pll_core.Inevitability.verified && valid) then exit 1
+      (* Exact a-posteriori validation: re-prove every Theorem-1
+         condition in rational arithmetic, persist the proof artifact,
+         and replay it from disk — the replay trusts no floats. *)
+      let exact_ok =
+        match
+          Certificates.validate_exactly s
+            report.Pll_core.Inevitability.invariant.Certificates.cert
+        with
+        | Error e ->
+            Format.printf "exact validation failed to run: %s@." e;
+            false
+        | Ok v ->
+            Format.printf "@.exact validation of the Lyapunov certificates:@.";
+            List.iter
+              (fun (name, verdict) ->
+                Format.printf "  %-22s %s@." name
+                  (match verdict with
+                  | Exact.Check.Proven _ -> "proven"
+                  | other -> Exact.Check.verdict_to_string other))
+              v.Certificates.verdicts;
+            (match v.Certificates.min_margin with
+            | Some m ->
+                Format.printf "  min exact LDL^T margin: %.3e@." (Exact.Rat.to_float m)
+            | None -> ());
+            let path = Filename.temp_file "third_order_pll" ".cert" in
+            Exact.Artifact.save path v.Certificates.artifact;
+            let replay_ok =
+              match Exact.Artifact.load path with
+              | Error e ->
+                  Format.printf "  artifact reload failed: %s@." e;
+                  false
+              | Ok reloaded ->
+                  List.for_all
+                    (fun (name, verdict) ->
+                      match verdict with
+                      | Exact.Check.Proven _ -> true
+                      | bad ->
+                          Format.printf "  replay of %s: %s@." name
+                            (Exact.Check.verdict_to_string bad);
+                          false)
+                    (Exact.Artifact.check_all reloaded)
+            in
+            Format.printf "  artifact saved to %s; replay from disk: %s@." path
+              (if replay_ok then "all proven" else "FAILED");
+            v.Certificates.all_proven && replay_ok
+      in
+      if not (report.Pll_core.Inevitability.verified && valid && exact_ok) then exit 1

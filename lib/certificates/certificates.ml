@@ -10,6 +10,8 @@ type config = {
   eps_decr : float;
   robust_vertices : bool;
   sdp_params : Sdp.params;
+  psd_tol : float;
+  eq_tol : float;
 }
 
 let default_config order =
@@ -19,6 +21,8 @@ let default_config order =
     eps_decr = 1e-3;
     robust_vertices = false;
     sdp_params = Sdp.default_params;
+    psd_tol = 1e-7;
+    eq_tol = 1e-5;
   }
 
 type stats = {
@@ -88,7 +92,9 @@ let find_multi_lyapunov ?config (s : Pll.scaled) =
   Log.info (fun k ->
       k "multi-Lyapunov search: deg %d, %d equalities, %d gram blocks" cfg.degree
         (Sos.n_equalities prob) (Sos.n_gram_blocks prob));
-  let sol = Sos.solve ~params:cfg.sdp_params prob in
+  Log.info (fun k ->
+      k "a posteriori tolerances: psd_tol %.2e, eq_tol %.2e" cfg.psd_tol cfg.eq_tol);
+  let sol = Sos.solve ~params:cfg.sdp_params ~psd_tol:cfg.psd_tol ~eq_tol:cfg.eq_tol prob in
   let time_s = Sys.time () -. t_start in
   if not sol.Sos.certified then
     Error
@@ -100,6 +106,236 @@ let find_multi_lyapunov ?config (s : Pll.scaled) =
     let values = Array.map (fun v -> Poly.chop ~tol:1e-9 (Sos.value sol v)) vs in
     Ok { vs = values; cfg; solve_stats = stats_of prob sol time_s }
   end
+
+(* ----- exact a-posteriori validation ----- *)
+
+(* Re-prove one instantiated condition [target >= 0 on {g >= 0}] and hand
+   the solver's Gram data to the exact kernel. The re-solve is a pure
+   multiplier search (the certificate polynomials are fixed floats), so
+   the SDP is small and linear; extraction relies on [add_nonneg_on]'s
+   deterministic block order — one σ per domain polynomial, in order,
+   then the main block. The domain is pre-normalized exactly as
+   [add_nonneg_on] normalizes it, so the rational embeddings of the g's
+   match the σ blocks they multiply. *)
+let exact_condition ?mult_deg ?denom_bits ~sdp_params ~nvars ~domain target_q =
+  let normalize g =
+    let c = Poly.max_coeff g in
+    if c > 0.0 then Poly.scale (1.0 /. c) g else g
+  in
+  let domain = List.map normalize domain in
+  let prob = Sos.create ~nvars in
+  Sos.add_nonneg_on ?mult_deg prob ~domain (Ppoly.of_poly (Exact.Qpoly.to_poly target_q));
+  let sol = Sos.solve ~params:sdp_params prob in
+  if not sol.Sos.feasible then Error "multiplier re-solve did not converge"
+  else begin
+    let bases = Sos.gram_bases prob in
+    let grams = Array.of_list (Sos.gram_blocks sol) in
+    let n_dom = List.length domain in
+    if Array.length bases <> n_dom + 1 || Array.length grams <> n_dom + 1 then
+      Error
+        (Printf.sprintf "unexpected block structure: %d blocks for %d domain polynomials"
+           (Array.length grams) n_dom)
+    else begin
+      let sigmas =
+        List.mapi (fun i g -> (Exact.Qpoly.of_poly g, (bases.(i), grams.(i)))) domain
+      in
+      let main = (bases.(n_dom), grams.(n_dom)) in
+      Ok (Exact.Check.certify_q ?denom_bits ~nvars ~target:target_q ~sigmas ~main ())
+    end
+  end
+
+type exact_validation = {
+  artifact : Exact.Artifact.t;
+  verdicts : (string * Exact.Check.verdict) list;
+  all_proven : bool;
+  min_margin : Exact.Rat.t option;
+  vs_exact : Exact.Qpoly.t array;
+}
+
+(* Stating condition (c) in both directions across a switching surface
+   pins V_src − V_dst down hard: on the slice it must vanish wherever
+   neither direction constraint is active, and — more finely — it must
+   lie in the exact monomial span that the reduced Gram bases can
+   generate. Float certificates miss these identities by solver noise
+   (~1e-10), so no exact certificate exists for them exactly as
+   returned: the kernel honestly reports the gap as an identity defect
+   at the unreachable monomials. Repair adaptively: run the kernel,
+   read the unabsorbable residual off the returned certificate (after
+   {!Exact.Check.absorb} it contains exactly the part of the identity
+   no Gram correction can reach), and fold it back into the
+   non-reference mode's Lyapunov function, lifting each slice term
+   [γ·m] off the slice as [γ/θ̂*ʲ · m·θʲ] with [j = max 0 (2 − deg m)]
+   so the correction restricts to [γ·m] at [θ = θ̂*] while still
+   vanishing quadratically at the origin (the repaired V must keep
+   [V(0) = 0] and its positivity margin). Corrections stay at
+   solver-noise scale, far below the (a)/(b) margins. Modes are
+   anchored spanning-tree style so a surface between two
+   already-anchored modes is never edited — a genuine gap there would
+   be reported, not papered over. *)
+let lift_slice_term theta theta_star ((m : Poly.Monomial.t), g) =
+  let module R = Exact.Rat in
+  let j = max 0 (2 - Poly.Monomial.degree m) in
+  let m' = Array.copy m in
+  m'.(theta) <- m'.(theta) + j;
+  let g = ref g in
+  for _ = 1 to j do
+    g := R.div !g theta_star
+  done;
+  (m', !g)
+
+let validate_exactly ?mult_deg ?denom_bits ?(slack = 0.5) (s : Pll.scaled) cert =
+  let module Q = Exact.Qpoly in
+  let module R = Exact.Rat in
+  let n = s.Pll.nvars in
+  let nrm_q = Q.of_poly (norm2_poly n) in
+  (* Exact dyadic embeddings of the float certificate polynomials; the
+     proven statement is about these (repaired) rational polynomials. *)
+  let vq = Array.map Q.of_poly cert.vs in
+  let theta = Pll.theta_index s in
+  (* (c) non-increase across switches, stated on the θ = θ* slice as in
+     the search — the substitution is done in exact arithmetic. Built
+     lazily because the adaptive repair below edits [vq]. *)
+  let switch_cond (src_m, dst_m, h, dir) =
+    let theta_star = -.Poly.eval h (Array.make n 0.0) in
+    let restrict q =
+      Poly.subst q
+        (Array.init n (fun i ->
+             if i = theta then Poly.const n theta_star else Poly.var n i))
+    in
+    let box = List.map restrict (Pll.containment_constraints s src_m) in
+    let dir = List.map restrict dir in
+    ( Printf.sprintf "switch-%s-to-%s" (Pll.mode_name src_m) (Pll.mode_name dst_m),
+      dir @ box,
+      theta_star,
+      Q.fix_var theta (R.of_float theta_star) (Q.sub vq.(src_m) vq.(dst_m)) )
+  in
+  (* Adaptive switch repair: see [lift_slice_term]. *)
+  let anchored = Array.make Pll.n_modes false in
+  List.iter
+    (fun ((src_m, dst_m, _, _) as surf) ->
+      let repaired =
+        if anchored.(src_m) && anchored.(dst_m) then None
+        else if anchored.(dst_m) then begin
+          anchored.(src_m) <- true;
+          Some src_m
+        end
+        else begin
+          anchored.(src_m) <- true;
+          anchored.(dst_m) <- true;
+          Some dst_m
+        end
+      in
+      match repaired with
+      | None -> ()
+      | Some b ->
+          let rec go round =
+            if round < 3 then begin
+              let name, domain, theta_star, target = switch_cond surf in
+              if theta_star <> 0.0 then
+                match
+                  exact_condition ?mult_deg ?denom_bits ~sdp_params:cert.cfg.sdp_params
+                    ~nvars:n ~domain target
+                with
+                | Ok (c, Exact.Check.Identity_defect _) ->
+                    let ts = R.of_float theta_star in
+                    let terms =
+                      List.filter
+                        (fun ((m : Poly.Monomial.t), _) -> m.(theta) = 0)
+                        (Q.terms (Exact.Check.residual c))
+                    in
+                    if terms <> [] then begin
+                      let lift =
+                        Q.of_terms n (List.map (lift_slice_term theta ts) terms)
+                      in
+                      Log.info (fun k ->
+                          k "switch repair (%s, round %d): folding %d unabsorbable \
+                             residual term(s) into V_%s"
+                            name round (List.length terms) (Pll.mode_name b));
+                      vq.(b) <-
+                        (if b = dst_m then Q.add vq.(b) lift else Q.sub vq.(b) lift);
+                      go (round + 1)
+                    end
+                | _ -> ()
+            end
+          in
+          go 0)
+    (Pll.switching_surfaces s);
+  let conds = ref [] in
+  let points =
+    if cert.cfg.robust_vertices then Pll.vertices s else [ Pll.nominal s ]
+  in
+  for m = 0 to Pll.n_modes - 1 do
+    let domain = Pll.mode_domain s m in
+    (* (a) positivity, at a fraction [slack] of the searched-for margin:
+       the re-solve needs strictly feasible multipliers to survive
+       rounding, so we certify V >= slack·eps_pos·‖x‖² instead of the
+       full margin. *)
+    conds :=
+      ( Printf.sprintf "%s-positivity" (Pll.mode_name m),
+        domain,
+        Q.sub vq.(m) (Q.scale (R.of_float (slack *. cert.cfg.eps_pos)) nrm_q) )
+      :: !conds;
+    (* (b) decrease along the flow *)
+    List.iteri
+      (fun k pt ->
+        let f = Array.map Q.of_poly (Pll.flow s pt m) in
+        let name =
+          if List.length points = 1 then Printf.sprintf "%s-decrease" (Pll.mode_name m)
+          else Printf.sprintf "%s-decrease-v%d" (Pll.mode_name m) k
+        in
+        conds :=
+          ( name,
+            domain,
+            Q.sub
+              (Q.neg (Q.lie_derivative vq.(m) f))
+              (Q.scale (R.of_float (slack *. cert.cfg.eps_decr)) nrm_q) )
+          :: !conds)
+      points
+  done;
+  List.iter
+    (fun surf ->
+      let name, domain, _, target = switch_cond surf in
+      conds := (name, domain, target) :: !conds)
+    (Pll.switching_surfaces s);
+  let conds = List.rev !conds in
+  let rec run acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, domain, target) :: rest -> (
+        match
+          exact_condition ?mult_deg ?denom_bits ~sdp_params:cert.cfg.sdp_params ~nvars:n
+            ~domain target
+        with
+        | Error e -> Error (name ^ ": " ^ e)
+        | Ok (c, v) ->
+            Log.info (fun k -> k "exact check %-22s %s" name (Exact.Check.verdict_to_string v));
+            run ((name, c, v) :: acc) rest)
+  in
+  match run [] conds with
+  | Error _ as e -> e
+  | Ok results ->
+      let artifact =
+        Exact.Artifact.create
+          ~meta:
+            [
+              ("system", match s.Pll.order with Pll.Third -> "third-order" | Pll.Fourth -> "fourth-order");
+              ("degree", string_of_int cert.cfg.degree);
+              ("slack", string_of_float slack);
+            ]
+          (List.map (fun (name, c, _) -> (name, c)) results)
+      in
+      let verdicts = List.map (fun (name, _, v) -> (name, v)) results in
+      let margins =
+        List.filter_map
+          (fun (_, v) -> match v with Exact.Check.Proven { margin } -> Some margin | _ -> None)
+          verdicts
+      in
+      let all_proven = List.length margins = List.length verdicts in
+      let min_margin =
+        match margins with
+        | hd :: tl when all_proven -> Some (List.fold_left Exact.Rat.min hd tl)
+        | _ -> None
+      in
+      Ok { artifact; verdicts; all_proven; min_margin; vs_exact = vq }
 
 (* {V_q <= beta} ∩ slab_q must keep a strict margin inside every
    containment constraint of mode q. *)

@@ -23,10 +23,16 @@ type config = {
           vertex feasibility gives the whole box); otherwise only at the
           nominal point *)
   sdp_params : Sdp.params;
+  psd_tol : float;
+      (** a posteriori Gram PSD tolerance handed to {!Sos.solve} *)
+  eq_tol : float;
+      (** a posteriori equality-residual tolerance handed to
+          {!Sos.solve} *)
 }
 
 val default_config : Pll.order -> config
-(** Paper degrees (6 / 4), margins [1e-2]/[1e-3], nominal parameters. *)
+(** Paper degrees (6 / 4), margins [1e-2]/[1e-3], nominal parameters,
+    tolerances [1e-7]/[1e-5]. *)
 
 (** A multiple-Lyapunov certificate, one polynomial per PFD mode. *)
 type t = {
@@ -48,6 +54,53 @@ val find_multi_lyapunov : ?config:config -> Pll.scaled -> (t, string) result
 (** The paper's first SOS program — constraints (a), (b), (c) of §3 for
     the three PFD modes, with S-procedure domain restrictions and
     direction-restricted switching surfaces. *)
+
+(** {1 Exact a-posteriori validation}
+
+    Everything above runs in floating point; the results below are
+    re-validated in exact rational arithmetic by the {!Exact} kernel. *)
+
+(** Result of {!validate_exactly}: the exact certificates (persistable
+    via {!Exact.Artifact}), one verdict per condition, the worst exact
+    LDLᵀ margin when everything is proven, and the exact rational
+    Lyapunov functions the verdicts are actually about. *)
+type exact_validation = {
+  artifact : Exact.Artifact.t;
+  verdicts : (string * Exact.Check.verdict) list;
+  all_proven : bool;
+  min_margin : Exact.Rat.t option;
+  vs_exact : Exact.Qpoly.t array;
+      (** Dyadic embeddings of the float [vs], corner-repaired so the
+          switch conditions can bind exactly (see the implementation
+          note on [repair_corners]); the proven statement quantifies
+          over these polynomials, not the float originals. *)
+}
+
+val validate_exactly :
+  ?mult_deg:int ->
+  ?denom_bits:int ->
+  ?slack:float ->
+  Pll.scaled ->
+  t ->
+  (exact_validation, string) result
+(** Re-prove the Theorem-1 conditions for a found certificate {e
+    exactly}: for each mode, (a) [V_m >= slack·eps_pos·‖x‖²] on the flow
+    set, (b) [−V̇_m >= slack·eps_decr·‖x‖²] along the (nominal, or every
+    vertex when the certificate was searched robustly) flow, and (c)
+    [V_src >= V_dst] on each switching slice. The [V_m] are first
+    embedded as exact rationals and corner-repaired (switching surfaces
+    force [V_src = V_dst] exactly at the point where the direction
+    constraint vanishes; float certificates only match there to solver
+    precision), and every target polynomial is built in rational
+    arithmetic from the repaired [vs_exact]. Each condition is then
+    re-solved as a small multiplier-only SOS program with the
+    instantiated [V_m] fixed, and the resulting Gram data is rounded,
+    residual-absorbed and checked by {!Exact.Check.certify_q} — the
+    verdicts carry no floating-point trust. [slack] (default 0.5) leaves
+    the multiplier search room to be strictly feasible; the proven
+    margins are [slack] times the searched-for ones. [Error] means a
+    re-solve failed structurally; individual failed conditions surface
+    as non-[Proven] verdicts instead. *)
 
 val check_level : ?mult_deg:int -> Pll.scaled -> t -> float -> bool
 (** One Lemma-1 feasibility check: is every slice

@@ -1,0 +1,230 @@
+(* Canonical text serialization of exact certificates. The writer emits
+   a unique normal form; the parser accepts exactly the grammar in the
+   interface, so write . parse . write = write (byte-identical). *)
+
+module Monomial = Poly.Monomial
+
+type t = {
+  version : int;
+  meta : (string * string) list;
+  certs : (string * Check.certificate) list;
+}
+
+let version = 1
+
+let magic = "pll-sos-artifact"
+
+let create ?(meta = []) certs =
+  let no_newline s = not (String.contains s '\n') in
+  List.iter
+    (fun (k, v) ->
+      if not (no_newline v) || String.exists (fun c -> c = ' ' || c = '\n' || c = '\t') k
+      then invalid_arg "Artifact.create: malformed meta entry")
+    meta;
+  List.iter
+    (fun (name, _) ->
+      if name = "" || not (no_newline name) then invalid_arg "Artifact.create: malformed name")
+    certs;
+  { version; meta; certs }
+
+(* ----- writer ----- *)
+
+let write_poly buf p =
+  let ts = Qpoly.terms p in
+  Buffer.add_string buf (Printf.sprintf "target %d\n" (List.length ts));
+  List.iter
+    (fun (m, c) ->
+      Buffer.add_string buf ("t " ^ Rat.to_string c);
+      Array.iter (fun e -> Buffer.add_string buf (" " ^ string_of_int e)) m;
+      Buffer.add_char buf '\n')
+    ts
+
+let write_block buf (b : Check.sos_block) =
+  Array.iter
+    (fun m ->
+      Buffer.add_string buf "z";
+      Array.iter (fun e -> Buffer.add_string buf (" " ^ string_of_int e)) m;
+      Buffer.add_char buf '\n')
+    b.Check.basis;
+  let k = Array.length b.Check.basis in
+  for i = 0 to k - 1 do
+    for j = i to k - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "G %d %d %s\n" i j (Rat.to_string (Qmat.get b.Check.gram i j)))
+    done
+  done
+
+let write t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "%s v%d\n" magic t.version);
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "meta %s %s\n" k v)) t.meta;
+  List.iter
+    (fun (name, (c : Check.certificate)) ->
+      Buffer.add_string buf (Printf.sprintf "cert %s\n" name);
+      Buffer.add_string buf (Printf.sprintf "nvars %d\n" c.Check.nvars);
+      write_poly buf c.Check.target;
+      List.iter
+        (fun (g, s) ->
+          let ts = Qpoly.terms g in
+          Buffer.add_string buf
+            (Printf.sprintf "sigma %d %d\n" (List.length ts)
+               (Array.length s.Check.basis));
+          List.iter
+            (fun (m, coef) ->
+              Buffer.add_string buf ("t " ^ Rat.to_string coef);
+              Array.iter (fun e -> Buffer.add_string buf (" " ^ string_of_int e)) m;
+              Buffer.add_char buf '\n')
+            ts;
+          write_block buf s)
+        c.Check.sigmas;
+      Buffer.add_string buf (Printf.sprintf "main %d\n" (Array.length c.Check.main.Check.basis));
+      write_block buf c.Check.main;
+      Buffer.add_string buf "endcert\n")
+    t.certs;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* ----- parser ----- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type cursor = { lines : string array; mutable pos : int }
+
+let next cur =
+  if cur.pos >= Array.length cur.lines then fail "unexpected end of artifact";
+  let l = cur.lines.(cur.pos) in
+  cur.pos <- cur.pos + 1;
+  l
+
+let peek cur = if cur.pos >= Array.length cur.lines then None else Some cur.lines.(cur.pos)
+
+let tokens l = String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
+
+let parse_int s = match int_of_string_opt s with Some n -> n | None -> fail "bad integer %S" s
+
+let parse_rat s = try Rat.of_string s with Invalid_argument m -> fail "bad rational: %s" m
+
+let parse_term nvars line =
+  match tokens line with
+  | "t" :: c :: es ->
+      if List.length es <> nvars then fail "term arity mismatch on %S" line;
+      (Monomial.of_exponents (List.map parse_int es), parse_rat c)
+  | _ -> fail "expected term line, got %S" line
+
+let parse_poly nvars nterms cur =
+  let ts = List.init nterms (fun _ -> parse_term nvars (next cur)) in
+  Qpoly.of_terms nvars ts
+
+let parse_block nvars size cur : Check.sos_block =
+  let basis =
+    Array.init size (fun _ ->
+        match tokens (next cur) with
+        | "z" :: es ->
+            if List.length es <> nvars then fail "basis arity mismatch";
+            Monomial.of_exponents (List.map parse_int es)
+        | _ -> fail "expected basis line")
+  in
+  let gram = Qmat.create size size in
+  for i = 0 to size - 1 do
+    for j = i to size - 1 do
+      match tokens (next cur) with
+      | [ "G"; si; sj; c ] ->
+          if parse_int si <> i || parse_int sj <> j then fail "gram entry out of order";
+          let v = parse_rat c in
+          Qmat.set gram i j v;
+          Qmat.set gram j i v
+      | _ -> fail "expected gram entry"
+    done
+  done;
+  { Check.basis; gram }
+
+let parse_cert name cur =
+  let nvars =
+    match tokens (next cur) with
+    | [ "nvars"; n ] -> parse_int n
+    | _ -> fail "expected nvars"
+  in
+  let target =
+    match tokens (next cur) with
+    | [ "target"; n ] -> parse_poly nvars (parse_int n) cur
+    | _ -> fail "expected target"
+  in
+  let sigmas = ref [] in
+  let main = ref None in
+  while !main = None do
+    match tokens (next cur) with
+    | [ "sigma"; nt; size ] ->
+        let g = parse_poly nvars (parse_int nt) cur in
+        let blk = parse_block nvars (parse_int size) cur in
+        sigmas := (g, blk) :: !sigmas
+    | [ "main"; size ] -> main := Some (parse_block nvars (parse_int size) cur)
+    | l -> fail "expected sigma or main, got %S" (String.concat " " l)
+  done;
+  (match tokens (next cur) with
+  | [ "endcert" ] -> ()
+  | _ -> fail "expected endcert");
+  ( name,
+    {
+      Check.nvars;
+      target;
+      sigmas = List.rev !sigmas;
+      main = (match !main with Some m -> m | None -> assert false);
+    } )
+
+let parse s =
+  try
+    let lines = String.split_on_char '\n' s |> Array.of_list in
+    (* a trailing newline leaves one empty trailing element *)
+    let n = Array.length lines in
+    let lines = if n > 0 && lines.(n - 1) = "" then Array.sub lines 0 (n - 1) else lines in
+    let cur = { lines; pos = 0 } in
+    let version =
+      match tokens (next cur) with
+      | [ m; v ] when m = magic && String.length v > 1 && v.[0] = 'v' ->
+          parse_int (String.sub v 1 (String.length v - 1))
+      | _ -> fail "bad header (expected %S)" magic
+    in
+    if version <> 1 then fail "unsupported artifact version %d" version;
+    let meta = ref [] in
+    let certs = ref [] in
+    let finished = ref false in
+    while not !finished do
+      let line = next cur in
+      match tokens line with
+      | "meta" :: key :: _ ->
+          let prefix = "meta " ^ key ^ " " in
+          let value =
+            if String.length line >= String.length prefix then
+              String.sub line (String.length prefix) (String.length line - String.length prefix)
+            else ""
+          in
+          meta := (key, value) :: !meta
+      | "cert" :: _ ->
+          let name = String.sub line 5 (String.length line - 5) in
+          certs := parse_cert name cur :: !certs
+      | [ "end" ] ->
+          if peek cur <> None then fail "trailing data after end";
+          finished := true
+      | _ -> fail "unexpected line %S" line
+    done;
+    Ok { version; meta = List.rev !meta; certs = List.rev !certs }
+  with
+  | Bad m -> Error m
+  | Invalid_argument m -> Error m
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (write t))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error m -> Error m
+
+let check_all t = List.map (fun (name, c) -> (name, Check.check c)) t.certs

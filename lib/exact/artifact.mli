@@ -1,0 +1,59 @@
+(** Versioned, plain-text serialization of exact certificates — the
+    proof artifact store.
+
+    An artifact bundles named {!Check.certificate}s with free-form
+    metadata so that proofs survive the process that found them: they
+    can be cached next to a parameter sweep, shipped with a paper, and
+    re-validated later by [bin/check_cert] (or any independent reader —
+    the grammar below is deliberately trivial to parse).
+
+    Line-oriented grammar (version 1; whitespace-separated tokens,
+    rationals always ["num/den"], monomials as [nvars] exponents):
+
+    {v
+      pll-sos-artifact v1
+      meta <key> <value...>              (zero or more)
+      cert <name>
+      nvars <n>
+      target <nterms>
+      t <num/den> <e0> ... <e_{n-1}>     (nterms lines, graded-lex order)
+      sigma <g-nterms> <basis-size>      (zero or more sigma sections)
+      t ...                              (the domain polynomial g)
+      z <e0> ... <e_{n-1}>               (basis-size lines)
+      G <i> <j> <num/den>                (upper triangle, row-major, all entries)
+      main <basis-size>
+      z ... / G ...                      (as above)
+      endcert
+      end
+    v}
+
+    The writer is canonical (terms sorted, every upper-triangle Gram
+    entry present, no trailing whitespace), so
+    [write (parse s) = s] for any writer-produced [s] — round-trips are
+    byte-identical, which makes artifacts diffable and content-
+    addressable. *)
+
+type t = {
+  version : int;
+  meta : (string * string) list;  (** ordered key/value pairs *)
+  certs : (string * Check.certificate) list;  (** ordered, named *)
+}
+
+val version : int
+(** The format version this library writes (1). *)
+
+val create : ?meta:(string * string) list -> (string * Check.certificate) list -> t
+(** Raises [Invalid_argument] when a name or meta key/value contains a
+    newline, or a meta key contains whitespace. *)
+
+val write : t -> string
+val parse : string -> (t, string) result
+
+val save : string -> t -> unit
+(** Write to a file (truncating). *)
+
+val load : string -> (t, string) result
+(** Read and parse a file; [Error] on I/O or syntax problems. *)
+
+val check_all : t -> (string * Check.verdict) list
+(** Run the trusted kernel over every certificate in the artifact. *)

@@ -1,0 +1,338 @@
+(* Sign-magnitude arbitrary-precision integers on base-2^30 limbs.
+
+   The base is chosen so that a limb product plus carries stays below
+   2^62 and therefore fits in OCaml's native 63-bit [int] — no Int64
+   boxing on the hot paths. Magnitudes are little-endian [int array]s
+   with no high zero limbs; the invariant [sign = 0 <=> mag = [||]]
+   makes zero unique and structural equality meaningful. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+(* ----- magnitude helpers (unsigned little-endian limb arrays) ----- *)
+
+let mag_zero = [||]
+
+let norm_mag m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do decr n done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+let mag_is_zero m = Array.length m = 0
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  norm_mag r
+
+(* requires a >= b *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  norm_mag r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then mag_zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let acc = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- acc land mask;
+          carry := acc lsr limb_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let acc = r.(!k) + !carry in
+          r.(!k) <- acc land mask;
+          carry := acc lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    norm_mag r
+  end
+
+let bitlen_int n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let bits_mag m =
+  let l = Array.length m in
+  if l = 0 then 0 else ((l - 1) * limb_bits) + bitlen_int m.(l - 1)
+
+let shl_mag m k =
+  if mag_is_zero m || k = 0 then m
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let l = Array.length m in
+    let r = Array.make (l + limbs + 1) 0 in
+    for i = 0 to l - 1 do
+      let v = m.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    norm_mag r
+  end
+
+let shr_mag m k =
+  if mag_is_zero m || k = 0 then m
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let l = Array.length m in
+    if limbs >= l then mag_zero
+    else begin
+      let lr = l - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = m.(i + limbs) lsr bits in
+        let hi = if bits > 0 && i + limbs + 1 < l then (m.(i + limbs + 1) lsl (limb_bits - bits)) land mask else 0 in
+        r.(i) <- lo lor hi
+      done;
+      norm_mag r
+    end
+  end
+
+let trailing_zeros_mag m =
+  let rec limb i = if m.(i) <> 0 then i else limb (i + 1) in
+  let i = limb 0 in
+  let rec bit v acc = if v land 1 = 1 then acc else bit (v lsr 1) (acc + 1) in
+  (i * limb_bits) + bit m.(i) 0
+
+(* Binary long division of magnitudes: O((bits a - bits b) * limbs). *)
+let divmod_mag a b =
+  if mag_is_zero b then raise Division_by_zero;
+  if cmp_mag a b < 0 then (mag_zero, a)
+  else begin
+    let shift = bits_mag a - bits_mag b in
+    let q = Array.make (1 + (shift / limb_bits)) 0 in
+    let r = ref a in
+    let d = ref (shl_mag b shift) in
+    for i = shift downto 0 do
+      if cmp_mag !r !d >= 0 then begin
+        r := sub_mag !r !d;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end;
+      d := shr_mag !d 1
+    done;
+    (norm_mag q, !r)
+  end
+
+(* ----- signed interface ----- *)
+
+let zero = { sign = 0; mag = mag_zero }
+
+let make sign mag = if mag_is_zero mag then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* |min_int| is not representable as an int; build it limb-wise. *)
+    { sign = -1; mag = norm_mag [| 0; 0; 1 lsl (Sys.int_size - 1 - (2 * limb_bits)) |] }
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let u = Stdlib.abs n in
+    let rec go u acc = if u = 0 then acc else go (u lsr limb_bits) ((u land mask) :: acc) in
+    { sign; mag = Array.of_list (List.rev (go u [])) }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+
+let equal a b = a.sign = b.sign && cmp_mag a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let neg a = make (-a.sign) a.mag
+
+let abs a = make (Stdlib.abs a.sign) a.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = divmod_mag a.mag b.mag in
+  if a.sign >= 0 then (make b.sign qm, make 1 rm)
+  else if mag_is_zero rm then (make (-b.sign) qm, zero)
+  else (make (-b.sign) (add_mag qm [| 1 |]), make 1 (sub_mag b.mag rm))
+
+let is_even a = mag_is_zero a.mag || a.mag.(0) land 1 = 0
+
+let bits a = bits_mag a.mag
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Bigint.shift_left";
+  make a.sign (shl_mag a.mag k)
+
+let pow2 k =
+  if k < 0 then invalid_arg "Bigint.pow2";
+  make 1 (shl_mag [| 1 |] k)
+
+let gcd a b =
+  if a.sign = 0 then abs b
+  else if b.sign = 0 then abs a
+  else begin
+    (* Stein's binary GCD: only shifts and subtractions. *)
+    let x = ref a.mag and y = ref b.mag in
+    let ka = trailing_zeros_mag !x and kb = trailing_zeros_mag !y in
+    let k = min ka kb in
+    x := shr_mag !x ka;
+    while not (mag_is_zero !y) do
+      y := shr_mag !y (trailing_zeros_mag !y);
+      if cmp_mag !x !y > 0 then begin
+        let t = !x in
+        x := !y;
+        y := t
+      end;
+      y := sub_mag !y !x
+    done;
+    make 1 (shl_mag !x k)
+  end
+
+let to_int_opt a =
+  if bits a <= Sys.int_size - 1 then begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) a.mag 0 in
+    Some (a.sign * v)
+  end
+  else if a.sign = -1 && equal a (of_int min_int) then Some min_int
+  else None
+
+let to_float a =
+  let b = bits a in
+  if b = 0 then 0.0
+  else if b <= 62 then begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) a.mag 0 in
+    float_of_int (a.sign * v)
+  end
+  else begin
+    let top = shr_mag a.mag (b - 62) in
+    let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) top 0 in
+    float_of_int a.sign *. ldexp (float_of_int v) (b - 62)
+  end
+
+(* ----- decimal I/O (chunks of 9 digits: 10^9 < 2^30) ----- *)
+
+let dec_chunk = 1_000_000_000
+let dec_digits = 9
+
+let divmod_small_mag m d =
+  let l = Array.length m in
+  let q = Array.make l 0 in
+  let r = ref 0 in
+  for i = l - 1 downto 0 do
+    let acc = (!r lsl limb_bits) lor m.(i) in
+    q.(i) <- acc / d;
+    r := acc mod d
+  done;
+  (norm_mag q, !r)
+
+let mul_add_small_mag m f c =
+  let l = Array.length m in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref c in
+  for i = 0 to l - 1 do
+    let acc = (m.(i) * f) + !carry in
+    r.(i) <- acc land mask;
+    carry := acc lsr limb_bits
+  done;
+  r.(l) <- !carry;
+  norm_mag r
+
+let to_string a =
+  if a.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go m acc =
+      if mag_is_zero m then acc
+      else begin
+        let q, r = divmod_small_mag m dec_chunk in
+        go q (r :: acc)
+      end
+    in
+    (match go a.mag [] with
+    | [] -> assert false
+    | first :: rest ->
+        if a.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start = match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0) in
+  if start >= len then invalid_arg "Bigint.of_string: missing digits";
+  let parse_chunk i j =
+    let c = ref 0 in
+    for k = i to j - 1 do
+      match s.[k] with
+      | '0' .. '9' -> c := (!c * 10) + (Char.code s.[k] - Char.code '0')
+      | ch -> invalid_arg (Printf.sprintf "Bigint.of_string: invalid character %C" ch)
+    done;
+    !c
+  in
+  (* a short leading chunk aligns the rest to full 9-digit groups *)
+  let first = ((len - start - 1) mod dec_digits) + 1 in
+  let mag = ref [| parse_chunk start (start + first) |] in
+  let i = ref (start + first) in
+  while !i < len do
+    mag := mul_add_small_mag !mag dec_chunk (parse_chunk !i (!i + dec_digits));
+    i := !i + dec_digits
+  done;
+  make sign (norm_mag !mag)
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

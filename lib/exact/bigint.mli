@@ -1,0 +1,70 @@
+(** Arbitrary-precision signed integers, implemented from scratch on
+    [int array] limbs (no zarith).
+
+    The exact-arithmetic kernel must not trust, and must not depend on,
+    anything outside this repository: these integers are the ground
+    layer under {!Rat}, {!Qmat} and {!Check}. Representation is
+    sign–magnitude with base-2³⁰ little-endian limbs, so every limb
+    product and carry fits comfortably in OCaml's 63-bit native [int].
+
+    All operations are total on valid values except division by zero. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+(** Exact conversion from a native integer (any [int], including
+    [min_int]). *)
+
+val to_int_opt : t -> int option
+(** [Some n] when the value fits in a native [int]. *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order compatible with the integer order. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = b*q + r] and [0 <= r < |b|]
+    (Euclidean division: the remainder is always non-negative).
+    Raises [Division_by_zero] when [b] is zero. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the absolute values (binary/Stein
+    algorithm — no divisions); [gcd 0 0 = 0]. *)
+
+val shift_left : t -> int -> t
+(** Multiply by [2^k], [k >= 0]. *)
+
+val pow2 : int -> t
+(** [2^k] for [k >= 0]. *)
+
+val is_even : t -> bool
+
+val bits : t -> int
+(** Position of the highest set bit of [|n|] plus one ([0] for zero). *)
+
+val to_float : t -> float
+(** Nearest-double approximation (exact whenever [|n| < 2^53];
+    [infinity] beyond the double range). *)
+
+val of_string : string -> t
+(** Parse an optionally-signed decimal literal. Raises
+    [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+(** Canonical decimal form ([-] sign only, no leading zeros). *)
+
+val pp : Format.formatter -> t -> unit

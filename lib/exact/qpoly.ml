@@ -1,0 +1,161 @@
+(* Exact-coefficient mirror of lib/poly: association list over the same
+   monomials, kept sorted by Monomial.compare with no zero terms. *)
+
+module Monomial = Poly.Monomial
+
+type t = { nvars : int; terms : (Monomial.t * Rat.t) list }
+
+let nvars p = p.nvars
+let zero n = { nvars = n; terms = [] }
+
+let of_terms n ts =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((m : Monomial.t), c) ->
+      if Monomial.arity m <> n then invalid_arg "Qpoly.of_terms: arity mismatch";
+      let cur = try Hashtbl.find tbl m with Not_found -> Rat.zero in
+      Hashtbl.replace tbl m (Rat.add cur c))
+    ts;
+  let terms =
+    Hashtbl.fold (fun m c acc -> if Rat.sign c = 0 then acc else (m, c) :: acc) tbl []
+  in
+  { nvars = n; terms = List.sort (fun (a, _) (b, _) -> Monomial.compare a b) terms }
+
+let const n c = of_terms n [ (Monomial.one n, c) ]
+let one n = const n Rat.one
+let terms p = p.terms
+
+let coeff p m =
+  match List.find_opt (fun (m', _) -> Monomial.equal m m') p.terms with
+  | Some (_, c) -> c
+  | None -> Rat.zero
+
+let is_zero p = p.terms = []
+
+let equal p q =
+  p.nvars = q.nvars
+  && List.length p.terms = List.length q.terms
+  && List.for_all2
+       (fun (m, c) (m', c') -> Monomial.equal m m' && Rat.equal c c')
+       p.terms q.terms
+
+let check_arity p q = if p.nvars <> q.nvars then invalid_arg "Qpoly: arity mismatch"
+
+(* merge of two sorted term lists *)
+let add p q =
+  check_arity p q;
+  let rec go a b =
+    match (a, b) with
+    | [], r | r, [] -> r
+    | (ma, ca) :: ta, (mb, cb) :: tb ->
+        let c = Monomial.compare ma mb in
+        if c < 0 then (ma, ca) :: go ta b
+        else if c > 0 then (mb, cb) :: go a tb
+        else begin
+          let s = Rat.add ca cb in
+          if Rat.sign s = 0 then go ta tb else (ma, s) :: go ta tb
+        end
+  in
+  { nvars = p.nvars; terms = go p.terms q.terms }
+
+let neg p = { p with terms = List.map (fun (m, c) -> (m, Rat.neg c)) p.terms }
+let sub p q = add p (neg q)
+
+let scale c p =
+  if Rat.sign c = 0 then zero p.nvars
+  else { p with terms = List.map (fun (m, k) -> (m, Rat.mul c k)) p.terms }
+
+let mul p q =
+  check_arity p q;
+  of_terms p.nvars
+    (List.concat_map
+       (fun (mp, cp) -> List.map (fun (mq, cq) -> (Monomial.mul mp mq, Rat.mul cp cq)) q.terms)
+       p.terms)
+
+let eval p x =
+  if Array.length x <> p.nvars then invalid_arg "Qpoly.eval: arity mismatch";
+  let pow b e =
+    let r = ref Rat.one in
+    for _ = 1 to e do r := Rat.mul !r b done;
+    !r
+  in
+  List.fold_left
+    (fun acc (m, c) ->
+      let v = ref c in
+      Array.iteri (fun i e -> if e > 0 then v := Rat.mul !v (pow x.(i) e)) m;
+      Rat.add acc !v)
+    Rat.zero p.terms
+
+let partial i p =
+  if i < 0 || i >= p.nvars then invalid_arg "Qpoly.partial: variable out of range";
+  of_terms p.nvars
+    (List.filter_map
+       (fun ((m : Monomial.t), c) ->
+         let e = m.(i) in
+         if e = 0 then None
+         else begin
+           let m' = Array.copy m in
+           m'.(i) <- e - 1;
+           Some (m', Rat.mul (Rat.of_int e) c)
+         end)
+       p.terms)
+
+let lie_derivative p f =
+  if Array.length f <> p.nvars then invalid_arg "Qpoly.lie_derivative: arity mismatch";
+  let acc = ref (zero p.nvars) in
+  Array.iteri (fun i fi -> acc := add !acc (mul (partial i p) fi)) f;
+  !acc
+
+let fix_var i v p =
+  if i < 0 || i >= p.nvars then invalid_arg "Qpoly.fix_var: variable out of range";
+  let pow b e =
+    let r = ref Rat.one in
+    for _ = 1 to e do
+      r := Rat.mul !r b
+    done;
+    !r
+  in
+  of_terms p.nvars
+    (List.map
+       (fun ((m : Monomial.t), c) ->
+         let e = m.(i) in
+         if e = 0 then (m, c)
+         else begin
+           let m' = Array.copy m in
+           m'.(i) <- 0;
+           (m', Rat.mul c (pow v e))
+         end)
+       p.terms)
+
+let of_poly p =
+  of_terms (Poly.nvars p) (List.map (fun (m, c) -> (m, Rat.of_float c)) (Poly.terms p))
+
+let to_poly p =
+  Poly.of_terms p.nvars (List.map (fun (m, c) -> (m, Rat.to_float c)) p.terms)
+
+let gram_poly n basis g =
+  let k = Array.length basis in
+  let rows, cols = Qmat.dims g in
+  if rows <> k || cols <> k then invalid_arg "Qpoly.gram_poly: dimension mismatch";
+  let ts = ref [] in
+  for i = 0 to k - 1 do
+    if Monomial.arity basis.(i) <> n then invalid_arg "Qpoly.gram_poly: arity mismatch";
+    for j = 0 to k - 1 do
+      let c = Qmat.get g i j in
+      if Rat.sign c <> 0 then ts := (Monomial.mul basis.(i) basis.(j), c) :: !ts
+    done
+  done;
+  of_terms n !ts
+
+let to_string ?names p =
+  if is_zero p then "0"
+  else
+    String.concat " + "
+      (List.map
+         (fun (m, c) ->
+           let ms = Monomial.to_string ?names m in
+           if Monomial.degree m = 0 then Rat.to_string c
+           else Rat.to_string c ^ "*" ^ ms)
+         p.terms)
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,59 @@
+(** Sparse multivariate polynomials with exact {!Rat} coefficients.
+
+    Mirrors the float ring [lib/poly] (same {!Poly.Monomial} exponent
+    vectors, same graded-lex term order) so certificates can cross the
+    float/exact boundary losslessly: {!of_poly} embeds every double
+    coefficient as the dyadic rational it actually is. Zero coefficients
+    are never stored, so {!equal} is decidable structural equality. *)
+
+type t
+
+val nvars : t -> int
+val zero : int -> t
+val one : int -> t
+val const : int -> Rat.t -> t
+
+val of_terms : int -> (Poly.Monomial.t * Rat.t) list -> t
+(** Repeated monomials are summed; zero coefficients dropped. *)
+
+val terms : t -> (Poly.Monomial.t * Rat.t) list
+(** In {!Poly.Monomial.compare} order. *)
+
+val coeff : t -> Poly.Monomial.t -> Rat.t
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val mul : t -> t -> t
+
+val eval : t -> Rat.t array -> Rat.t
+(** Exact value at a rational point. *)
+
+val partial : int -> t -> t
+(** [partial i p] is [∂p/∂x_i], exactly. *)
+
+val lie_derivative : t -> t array -> t
+(** [lie_derivative p f] is [∇p · f] (one polynomial per variable),
+    exactly — the exact mirror of {!Poly.lie_derivative}. *)
+
+val fix_var : int -> Rat.t -> t -> t
+(** [fix_var i v p] substitutes the exact constant [v] for variable [i];
+    the arity is kept (the variable simply no longer occurs). *)
+
+val of_poly : Poly.t -> t
+(** Exact dyadic image of a float polynomial — no rounding. *)
+
+val to_poly : t -> Poly.t
+(** Nearest-double image (lossy). *)
+
+val gram_poly : int -> Poly.Monomial.t array -> Qmat.t -> t
+(** [gram_poly nvars basis g] is the exact expansion of [zᵀ G z] where
+    [z] is the vector of basis monomials — the polynomial a Gram block
+    claims to represent. Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val to_string : ?names:string array -> t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+(* Normalized rationals: den > 0, gcd(|num|, den) = 1, zero = 0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  match Bigint.sign den with
+  | 0 -> raise Division_by_zero
+  | s ->
+      let num = if s < 0 then Bigint.neg num else num in
+      let den = Bigint.abs den in
+      if Bigint.sign num = 0 then { num = Bigint.zero; den = Bigint.one }
+      else begin
+        let g = Bigint.gcd num den in
+        if Bigint.equal g Bigint.one then { num; den }
+        else { num = fst (Bigint.divmod num g); den = fst (Bigint.divmod den g) }
+      end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+
+let num t = t.num
+let den t = t.den
+let sign t = Bigint.sign t.num
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let neg a = { a with num = Bigint.neg a.num }
+let abs a = { a with num = Bigint.abs a.num }
+
+let add a b =
+  make (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv a =
+  if Bigint.sign a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* Exact dyadic decomposition of a finite double: f = m * 2^(e-53) with
+   |m| < 2^53 an integer, recovered losslessly via frexp/ldexp. *)
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite";
+  if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    let mant = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.shift_left (Bigint.of_int mant) e)
+    else make (Bigint.of_int mant) (Bigint.pow2 (-e))
+  end
+
+let to_float a = Bigint.to_float a.num /. Bigint.to_float a.den
+
+let to_string a = Bigint.to_string a.num ^ "/" ^ Bigint.to_string a.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+      let n = Bigint.of_string (String.sub s 0 i) in
+      let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      if Bigint.sign d = 0 then invalid_arg "Rat.of_string: zero denominator";
+      make n d
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

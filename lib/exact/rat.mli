@@ -1,0 +1,68 @@
+(** Arbitrary-precision rational numbers over {!Bigint}.
+
+    Values are kept normalized — positive denominator, numerator and
+    denominator coprime, zero represented as [0/1] — so structural
+    {!equal} coincides with numeric equality and serialized forms are
+    canonical. This is the coefficient field of the exact certificate
+    kernel ({!Qmat}, {!Qpoly}, {!Check}). *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+(** [den > 0], [gcd (|num|) den = 1]. The constructor is private so the
+    invariant cannot be broken from outside; build values with {!make},
+    {!of_int}, {!of_bigint} or {!of_float}. *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized fraction [num/den]. Raises
+    [Division_by_zero] when [den] is zero. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+val of_bigint : Bigint.t -> t
+
+val of_float : float -> t
+(** Exact dyadic value of a finite double ([f = m·2^e] with integer
+    mantissa): no rounding whatsoever. Raises [Invalid_argument] on
+    [nan] and infinities. *)
+
+val to_float : t -> float
+(** Nearest-double approximation. Exact (round-trips with {!of_float})
+    whenever numerator and denominator both fit in 62 bits and the
+    quotient is representable — in particular for every dyadic rational
+    produced by {!of_float} from a double of magnitude within
+    [[2^-900, 2^900]]. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val sign : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** Raises [Division_by_zero] on zero. *)
+
+val div : t -> t -> t
+(** Raises [Division_by_zero] on a zero divisor. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val of_string : string -> t
+(** Parse ["num/den"] or a plain decimal integer ["num"]. Raises
+    [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+(** Canonical form ["num/den"], always with an explicit denominator
+    (["3/1"], ["-1/2"]) so the artifact grammar stays uniform. *)
+
+val pp : Format.formatter -> t -> unit

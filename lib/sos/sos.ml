@@ -334,6 +334,9 @@ let value sol pp = Ppoly.value sol.assign pp
 
 let gram_blocks sol = Array.to_list sol.sdp.Sdp.x_blocks
 
+let gram_bases p =
+  Array.map (fun b -> b.basis) (Array.of_list (List.rev p.blocks))
+
 let sos_witness p sol b =
   let blocks = Array.of_list (List.rev p.blocks) in
   if b < 0 || b >= Array.length blocks then invalid_arg "Sos.sos_witness";

@@ -108,6 +108,12 @@ val value : solution -> Ppoly.t -> Poly.t
 val gram_blocks : solution -> Linalg.Mat.t list
 (** The PSD Gram blocks of the solution, in creation order. *)
 
+val gram_bases : t -> Poly.Monomial.t array array
+(** Monomial basis of each Gram block, in creation order — index-aligned
+    with {!gram_blocks}. Together they let a caller reconstruct each SOS
+    summand as [zᵀ G z] (e.g. to hand it to an exact certificate
+    checker). *)
+
 val sos_witness : t -> solution -> int -> Poly.t list
 (** [sos_witness prob sol b] decomposes Gram block [b] into polynomials
     [p_i] with [Σ p_i² = zᵀ G z] (via eigen-decomposition of the Gram

@@ -1,0 +1,58 @@
+(* End-to-end smoke test of the exact certification pipeline: solve the
+   third-order attraction SOS program, re-validate every Theorem-1
+   condition in exact rational arithmetic, persist the proof artifact,
+   and replay it through the independent check_cert binary (whose path
+   arrives as argv(1) from the dune rule). Exits nonzero on any
+   unproven condition or round-trip mismatch. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("exact_smoke: " ^ m); exit 1) fmt
+
+let () =
+  if Array.length Sys.argv < 2 then die "usage: exact_smoke CHECK_CERT_EXE";
+  let check_cert_exe = Sys.argv.(1) in
+  let s = Pll.scale Pll.table1_third in
+  (* Degree 4 keeps the SDP small; the certificate is still a genuine
+     multi-Lyapunov witness for the third-order loop. *)
+  let config = { (Certificates.default_config Pll.Third) with Certificates.degree = 4 } in
+  let cert =
+    match Certificates.find_multi_lyapunov ~config s with
+    | Error e -> die "multi-Lyapunov search failed: %s" e
+    | Ok c -> c
+  in
+  let v =
+    match Certificates.validate_exactly s cert with
+    | Error e -> die "exact validation failed structurally: %s" e
+    | Ok v -> v
+  in
+  List.iter
+    (fun (name, verdict) ->
+      Printf.printf "%-24s %s\n%!" name (Exact.Check.verdict_to_string verdict))
+    v.Certificates.verdicts;
+  if not v.Certificates.all_proven then die "not all conditions proven";
+  (match v.Certificates.min_margin with
+  | Some m when Exact.Rat.sign m > 0 ->
+      Printf.printf "min exact margin: %s (~%.3e)\n%!" (Exact.Rat.to_string m)
+        (Exact.Rat.to_float m)
+  | Some m -> die "margin not strictly positive: %s" (Exact.Rat.to_string m)
+  | None -> die "no margin reported");
+  (* Persist, reload, and require a byte-identical round trip. *)
+  let path = Filename.temp_file "pll_third_order" ".artifact" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Exact.Artifact.save path v.Certificates.artifact;
+      (match Exact.Artifact.load path with
+      | Error e -> die "reload failed: %s" e
+      | Ok a ->
+          if
+            not
+              (String.equal
+                 (Exact.Artifact.write v.Certificates.artifact)
+                 (Exact.Artifact.write a))
+          then die "artifact round trip not byte-identical");
+      (* Independent replay: the checker binary shares no solver state
+         with this process. *)
+      let cmd = Filename.quote check_cert_exe ^ " --quiet " ^ Filename.quote path in
+      match Sys.command cmd with
+      | 0 -> print_endline "check_cert replay: all proven"
+      | n -> die "check_cert exited with %d" n)

@@ -1,0 +1,570 @@
+(* Tests of the exact-arithmetic certificate kernel: bigint/rational
+   ring & field laws (qcheck), decimal I/O round trips, float→dyadic
+   exactness, the LDL^T PSD decision with refutation witnesses, the
+   Harrison-style rounding/absorption bridge, and the artifact store
+   (byte-identical round trips, corrupted-Gram rejection). *)
+
+module B = Exact.Bigint
+module Q = Exact.Rat
+module Qmat = Exact.Qmat
+module Qpoly = Exact.Qpoly
+module Check = Exact.Check
+module Artifact = Exact.Artifact
+
+let bigint = Alcotest.testable B.pp B.equal
+let rat = Alcotest.testable Q.pp Q.equal
+
+(* ----- generators ----- *)
+
+(* Decimal strings up to ~40 digits exercise multi-limb paths. *)
+let gen_bigint =
+  QCheck.Gen.(
+    let* neg = bool in
+    let* ndigits = int_range 1 40 in
+    let* first = int_range (if ndigits = 1 then 0 else 1) 9 in
+    let* rest = list_size (return (ndigits - 1)) (int_range 0 9) in
+    let s = String.concat "" (List.map string_of_int (first :: rest)) in
+    return (B.of_string (if neg && first > 0 then "-" ^ s else s)))
+
+let arb_bigint = QCheck.make ~print:B.to_string gen_bigint
+
+let gen_rat =
+  QCheck.Gen.(
+    let* n = gen_bigint in
+    let* d = gen_bigint in
+    return (if B.sign d = 0 then Q.of_bigint n else Q.make n d))
+
+let arb_rat = QCheck.make ~print:Q.to_string gen_rat
+
+(* ----- Bigint ring laws ----- *)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"bigint: a+b = b+a" ~count:200 (QCheck.pair arb_bigint arb_bigint)
+    (fun (a, b) -> B.equal (B.add a b) (B.add b a))
+
+let prop_mul_comm =
+  QCheck.Test.make ~name:"bigint: a*b = b*a" ~count:200 (QCheck.pair arb_bigint arb_bigint)
+    (fun (a, b) -> B.equal (B.mul a b) (B.mul b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"bigint: (a*b)*c = a*(b*c)" ~count:100
+    (QCheck.triple arb_bigint arb_bigint arb_bigint) (fun (a, b, c) ->
+      B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)))
+
+let prop_distrib =
+  QCheck.Test.make ~name:"bigint: a*(b+c) = a*b + a*c" ~count:100
+    (QCheck.triple arb_bigint arb_bigint arb_bigint) (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"bigint: (a+b)-b = a" ~count:200 (QCheck.pair arb_bigint arb_bigint)
+    (fun (a, b) -> B.equal (B.sub (B.add a b) b) a)
+
+let prop_divmod =
+  QCheck.Test.make ~name:"bigint: a = b*q + r, 0 <= r < |b|" ~count:200
+    (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      QCheck.assume (B.sign b <> 0);
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul b q) r) && B.sign r >= 0 && B.compare r (B.abs b) < 0)
+
+let prop_gcd =
+  QCheck.Test.make ~name:"bigint: gcd divides both and is positive" ~count:200
+    (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      QCheck.assume (B.sign a <> 0 || B.sign b <> 0);
+      let g = B.gcd a b in
+      B.sign g = 1
+      && B.sign (snd (B.divmod a g)) = 0
+      && B.sign (snd (B.divmod b g)) = 0)
+
+let prop_decimal_roundtrip =
+  QCheck.Test.make ~name:"bigint: of_string (to_string a) = a" ~count:200 arb_bigint
+    (fun a -> B.equal (B.of_string (B.to_string a)) a)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"bigint: compare a b = -(compare b a)" ~count:200
+    (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      Stdlib.compare (B.compare a b) 0 = -Stdlib.compare (B.compare b a) 0)
+
+let test_bigint_basics () =
+  Alcotest.check bigint "0 + 0" B.zero (B.add B.zero B.zero);
+  Alcotest.check bigint "of_int round trips" (B.of_string "123456789012345678")
+    (B.mul (B.of_int 123456789) (B.add (B.mul (B.of_int 1_000_000_000) B.one) (B.of_int 0))
+    |> fun x -> B.add x (B.of_int 12345678));
+  Alcotest.(check (option int)) "to_int_opt small" (Some (-42)) (B.to_int_opt (B.of_int (-42)));
+  Alcotest.(check (option int)) "to_int_opt max_int" (Some max_int) (B.to_int_opt (B.of_int max_int));
+  Alcotest.(check (option int)) "to_int_opt min_int" (Some min_int) (B.to_int_opt (B.of_int min_int));
+  Alcotest.(check (option int)) "to_int_opt huge" None (B.to_int_opt (B.of_string "9999999999999999999999"));
+  Alcotest.(check string) "negative decimal" "-10000000000000000000000000001"
+    (B.to_string (B.of_string "-10000000000000000000000000001"));
+  Alcotest.(check int) "sign of min_int" (-1) (B.sign (B.of_int min_int));
+  Alcotest.check bigint "min_int decimal" (B.of_int min_int) (B.of_string (string_of_int min_int));
+  Alcotest.check bigint "pow2 60" (B.of_int (1 lsl 60)) (B.pow2 60);
+  Alcotest.(check int) "bits of 2^60" 61 (B.bits (B.pow2 60));
+  Alcotest.(check (float 0.0)) "to_float exact" 12345678901234.0
+    (B.to_float (B.of_string "12345678901234"))
+
+(* ----- Rat field laws ----- *)
+
+let prop_rat_add_assoc =
+  QCheck.Test.make ~name:"rat: (a+b)+c = a+(b+c)" ~count:100
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)))
+
+let prop_rat_mul_inverse =
+  QCheck.Test.make ~name:"rat: a * (1/a) = 1" ~count:200 arb_rat (fun a ->
+      QCheck.assume (Q.sign a <> 0);
+      Q.equal (Q.mul a (Q.inv a)) Q.one)
+
+let prop_rat_distrib =
+  QCheck.Test.make ~name:"rat: a*(b+c) = a*b + a*c" ~count:100
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_rat_sub_cancel =
+  QCheck.Test.make ~name:"rat: a - a = 0 and (a-b)+(b-a) = 0" ~count:200
+    (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      Q.sign (Q.sub a a) = 0 && Q.sign (Q.add (Q.sub a b) (Q.sub b a)) = 0)
+
+let prop_rat_string_roundtrip =
+  QCheck.Test.make ~name:"rat: of_string (to_string a) = a" ~count:200 arb_rat (fun a ->
+      Q.equal (Q.of_string (Q.to_string a)) a)
+
+(* Floats that are exactly representable round-trip losslessly, and
+   exact float sums agree with exact rational sums. *)
+let prop_float_dyadic_exact =
+  QCheck.Test.make ~name:"rat: of_float is the exact dyadic value" ~count:500
+    (QCheck.make QCheck.Gen.(float_bound_inclusive 1.0e6)) (fun f ->
+      QCheck.assume (Float.is_finite f);
+      Q.to_float (Q.of_float f) = f)
+
+let prop_float_sum_exact =
+  QCheck.Test.make ~name:"rat: exact float sums match rational sums" ~count:500
+    (QCheck.pair (QCheck.make QCheck.Gen.(int_range (-1000000) 1000000))
+       (QCheck.make QCheck.Gen.(int_range (-1000000) 1000000)))
+    (fun (a, b) ->
+      (* a/1024 + b/1024 is exact in double arithmetic at this scale *)
+      let fa = float_of_int a /. 1024.0 and fb = float_of_int b /. 1024.0 in
+      Q.equal (Q.of_float (fa +. fb)) (Q.add (Q.of_float fa) (Q.of_float fb)))
+
+let test_rat_basics () =
+  Alcotest.check rat "1/2 + 1/3 = 5/6" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rat "normalization" (Q.of_ints (-2) 3) (Q.of_ints 4 (-6));
+  Alcotest.(check string) "canonical string" "-2/3" (Q.to_string (Q.of_ints 4 (-6)));
+  Alcotest.check rat "of_float 0.5" (Q.of_ints 1 2) (Q.of_float 0.5);
+  Alcotest.check rat "of_float -0.75" (Q.of_ints (-3) 4) (Q.of_float (-0.75));
+  Alcotest.check rat "of_float 0.1 is the dyadic, not 1/10"
+    (Q.make (B.of_string "3602879701896397") (B.pow2 55))
+    (Q.of_float 0.1);
+  Alcotest.(check bool) "0.1 dyadic <> 1/10" false (Q.equal (Q.of_float 0.1) (Q.of_ints 1 10));
+  Alcotest.(check int) "compare across denominators" (-1) (Stdlib.compare (Q.compare (Q.of_ints 1 3) (Q.of_ints 1 2)) 0)
+
+(* ----- Qmat / LDL^T ----- *)
+
+let qm rows =
+  let r = Array.length rows and c = Array.length rows.(0) in
+  Qmat.init r c (fun i j -> Q.of_int rows.(i).(j))
+
+let test_ldlt_psd () =
+  (match Qmat.psd (qm [| [| 2; 1 |]; [| 1; 2 |] |]) with
+  | Qmat.Psd { min_pivot } -> Alcotest.check rat "pivots of [[2,1],[1,2]]" (Q.of_ints 3 2) min_pivot
+  | Qmat.Not_psd _ -> Alcotest.fail "PSD matrix rejected");
+  (match Qmat.psd (Qmat.identity 5) with
+  | Qmat.Psd { min_pivot } -> Alcotest.check rat "identity pivots" Q.one min_pivot
+  | Qmat.Not_psd _ -> Alcotest.fail "identity rejected");
+  (* singular PSD: [[1,1],[1,1]] has pivots 1, 0 *)
+  (match Qmat.psd (qm [| [| 1; 1 |]; [| 1; 1 |] |]) with
+  | Qmat.Psd { min_pivot } -> Alcotest.check rat "rank-1 min pivot" Q.zero min_pivot
+  | Qmat.Not_psd _ -> Alcotest.fail "rank-1 PSD rejected")
+
+let check_refutation name m =
+  match Qmat.psd m with
+  | Qmat.Psd _ -> Alcotest.fail (name ^ ": indefinite matrix accepted")
+  | Qmat.Not_psd { witness; value } ->
+      Alcotest.(check bool) (name ^ ": witness value negative") true (Q.sign value < 0);
+      Alcotest.check rat (name ^ ": witness value is exact") value (Qmat.quad_form m witness)
+
+let test_ldlt_not_psd () =
+  check_refutation "neg diag" (qm [| [| -1; 0 |]; [| 0; 2 |] |]);
+  check_refutation "indefinite" (qm [| [| 1; 2 |]; [| 2; 1 |] |]);
+  check_refutation "zero diag, nonzero row" (qm [| [| 0; 1 |]; [| 1; 0 |] |]);
+  check_refutation "deep pivot failure"
+    (qm [| [| 4; 2; 0 |]; [| 2; 1; 3 |]; [| 0; 3; 5 |] |])
+
+let gen_int_mat n =
+  QCheck.Gen.(array_size (return (n * n)) (int_range (-5) 5))
+
+let prop_gram_psd =
+  QCheck.Test.make ~name:"qmat: B^T B is always PSD" ~count:100
+    (QCheck.make (gen_int_mat 4)) (fun data ->
+      let b = Qmat.init 4 4 (fun i j -> Q.of_int data.((i * 4) + j)) in
+      match Qmat.psd (Qmat.mul (Qmat.transpose b) b) with
+      | Qmat.Psd _ -> true
+      | Qmat.Not_psd _ -> false)
+
+let prop_shifted_not_psd =
+  QCheck.Test.make ~name:"qmat: B^T B - large diagonal is refuted with a valid witness"
+    ~count:100 (QCheck.make (gen_int_mat 3)) (fun data ->
+      let b = Qmat.init 3 3 (fun i j -> Q.of_int data.((i * 3) + j)) in
+      let g = Qmat.mul (Qmat.transpose b) b in
+      let shifted = Qmat.sub g (Qmat.scale (Q.of_int 1000) (Qmat.identity 3)) in
+      match Qmat.psd shifted with
+      | Qmat.Psd _ -> false
+      | Qmat.Not_psd { witness; value } ->
+          Q.sign value < 0 && Q.equal value (Qmat.quad_form shifted witness))
+
+let test_lin_solve () =
+  (* square, invertible: 2x + y = 5, x + 3y = 10 *)
+  let a = qm [| [| 2; 1 |]; [| 1; 3 |] |] in
+  let b = [| Q.of_int 5; Q.of_int 10 |] in
+  (match Qmat.lin_solve a b with
+  | None -> Alcotest.fail "consistent square system unsolved"
+  | Some x ->
+      Alcotest.check rat "x" Q.one x.(0);
+      Alcotest.check rat "y" (Q.of_int 3) x.(1));
+  (* underdetermined: x + y = 3 — any exact solution is acceptable *)
+  let a = qm [| [| 1; 1 |] |] in
+  let b = [| Q.of_int 3 |] in
+  (match Qmat.lin_solve a b with
+  | None -> Alcotest.fail "underdetermined system unsolved"
+  | Some x -> Alcotest.check rat "x + y = 3" (Q.of_int 3) (Q.add x.(0) x.(1)));
+  (* inconsistent: x + y = 1 and 2x + 2y = 3 *)
+  let a = qm [| [| 1; 1 |]; [| 2; 2 |] |] in
+  let b = [| Q.one; Q.of_int 3 |] in
+  match Qmat.lin_solve a b with
+  | None -> ()
+  | Some _ -> Alcotest.fail "inconsistent system produced a solution"
+
+let prop_lin_solve =
+  QCheck.Test.make ~name:"qmat: lin_solve solves every consistent system exactly" ~count:200
+    (QCheck.pair (QCheck.make (gen_int_mat 4))
+       (QCheck.make QCheck.Gen.(array_size (return 4) (int_range (-9) 9))))
+    (fun (data, xs) ->
+      let a = Qmat.init 4 4 (fun i j -> Q.of_int data.((i * 4) + j)) in
+      let b = Qmat.mul_vec a (Array.map Q.of_int xs) in
+      match Qmat.lin_solve a b with
+      | None -> false (* consistent by construction *)
+      | Some x ->
+          Array.for_all2 (fun l r -> Q.equal l r) (Qmat.mul_vec a x) b)
+
+(* ----- Qpoly ----- *)
+
+let test_qpoly_exact_ops () =
+  let x = Poly.var 2 0 and y = Poly.var 2 1 in
+  let p = Poly.add (Poly.mul x x) (Poly.scale 3.0 y) in
+  let q = Poly.sub (Poly.mul x y) (Poly.one 2) in
+  let lhs = Qpoly.of_poly (Poly.mul p q) in
+  let rhs = Qpoly.mul (Qpoly.of_poly p) (Qpoly.of_poly q) in
+  Alcotest.(check bool) "exact product matches float product on integer polys" true
+    (Qpoly.equal lhs rhs);
+  let v = Qpoly.eval rhs [| Q.of_ints 1 2; Q.of_ints (-1) 3 |] in
+  (* p(1/2,-1/3) = 1/4 - 1 = -3/4;  q = -1/6 - 1 = -7/6;  product 7/8 *)
+  Alcotest.check rat "exact evaluation" (Q.of_ints 7 8) v
+
+let test_qpoly_calculus () =
+  let x = Poly.var 2 0 and y = Poly.var 2 1 in
+  (* p = x²y + 3y *)
+  let p = Qpoly.of_poly (Poly.add (Poly.mul (Poly.mul x x) y) (Poly.scale 3.0 y)) in
+  let qp q = Qpoly.of_poly q in
+  Alcotest.(check bool) "∂p/∂x = 2xy" true
+    (Qpoly.equal (Qpoly.partial 0 p) (qp (Poly.scale 2.0 (Poly.mul x y))));
+  Alcotest.(check bool) "∂p/∂y = x² + 3" true
+    (Qpoly.equal (Qpoly.partial 1 p) (qp (Poly.add (Poly.mul x x) (Poly.const 2 3.0))));
+  (* ∇p · (y, −x) = 2xy² − x³ − 3x *)
+  let lie = Qpoly.lie_derivative p [| qp y; Qpoly.neg (qp x) |] in
+  let expected =
+    qp
+      (Poly.sub
+         (Poly.scale 2.0 (Poly.mul x (Poly.mul y y)))
+         (Poly.add (Poly.mul x (Poly.mul x x)) (Poly.scale 3.0 x)))
+  in
+  Alcotest.(check bool) "exact Lie derivative" true (Qpoly.equal lie expected);
+  (* p with y := 1/2 is x²/2 + 3/2; the arity stays 2 *)
+  let fixed = Qpoly.fix_var 1 (Q.of_ints 1 2) p in
+  let expected =
+    Qpoly.of_terms 2
+      [
+        (Poly.Monomial.of_exponents [ 2; 0 ], Q.of_ints 1 2);
+        (Poly.Monomial.of_exponents [ 0; 0 ], Q.of_ints 3 2);
+      ]
+  in
+  Alcotest.(check bool) "exact substitution" true (Qpoly.equal fixed expected);
+  Alcotest.(check int) "arity kept" 2 (Qpoly.nvars fixed)
+
+let test_gram_poly () =
+  (* basis (1, x), G = [[1,1],[1,1]]: z^T G z = 1 + 2x + x^2 = (x+1)^2 *)
+  let basis = [| Poly.Monomial.of_exponents [ 0 ]; Poly.Monomial.of_exponents [ 1 ] |] in
+  let g = qm [| [| 1; 1 |]; [| 1; 1 |] |] in
+  let p = Qpoly.gram_poly 1 basis g in
+  let expected =
+    Qpoly.of_terms 1
+      [
+        (Poly.Monomial.of_exponents [ 0 ], Q.one);
+        (Poly.Monomial.of_exponents [ 1 ], Q.of_int 2);
+        (Poly.Monomial.of_exponents [ 2 ], Q.one);
+      ]
+  in
+  Alcotest.(check bool) "z^T G z expansion" true (Qpoly.equal p expected)
+
+(* ----- Check kernel ----- *)
+
+let m1 es = Poly.Monomial.of_exponents es
+
+(* x^2 + 2x + 2 = (x+1)^2 + 1 over basis (1, x): G = [[2,1],[1,1]]. *)
+let good_cert () =
+  {
+    Check.nvars = 1;
+    target =
+      Qpoly.of_terms 1 [ (m1 [ 0 ], Q.of_int 2); (m1 [ 1 ], Q.of_int 2); (m1 [ 2 ], Q.one) ];
+    sigmas = [];
+    main = { Check.basis = [| m1 [ 0 ]; m1 [ 1 ] |]; gram = qm [| [| 2; 1 |]; [| 1; 1 |] |] };
+  }
+
+let test_check_proven () =
+  match Check.check (good_cert ()) with
+  | Check.Proven { margin } ->
+      Alcotest.(check bool) "positive margin" true (Q.sign margin > 0);
+      Alcotest.check rat "margin is min pivot" (Q.of_ints 1 2) margin
+  | v -> Alcotest.fail ("expected Proven, got " ^ Check.verdict_to_string v)
+
+let test_check_identity_defect () =
+  let c = good_cert () in
+  let c = { c with Check.target = Qpoly.add c.Check.target (Qpoly.one 1) } in
+  match Check.check c with
+  | Check.Identity_defect { defect; _ } -> Alcotest.check rat "defect found" Q.one defect
+  | v -> Alcotest.fail ("expected Identity_defect, got " ^ Check.verdict_to_string v)
+
+let test_check_rejects_indefinite () =
+  (* Perturb the Gram to be indefinite while keeping the identity: the
+     constant coefficient drops to 1/2, making the target negative at
+     x = -1 — the kernel must refuse, with an exact witness. *)
+  let c = good_cert () in
+  let gram = Qmat.copy c.Check.main.Check.gram in
+  Qmat.set gram 0 0 (Q.of_ints 1 2);
+  let target = Qpoly.add (Qpoly.of_terms 1 [ (m1 [ 0 ], Q.of_ints (-3) 2) ]) c.Check.target in
+  let c = { c with Check.target; main = { c.Check.main with Check.gram } } in
+  match Check.check c with
+  | Check.Block_not_psd { block = Check.Main; witness; value } ->
+      Alcotest.(check bool) "negative witness value" true (Q.sign value < 0);
+      Alcotest.check rat "witness exact" value (Qmat.quad_form gram witness)
+  | v -> Alcotest.fail ("expected Block_not_psd, got " ^ Check.verdict_to_string v)
+
+let test_absorb_repairs_rounding () =
+  (* Take the good certificate, shave the Gram corner, and let absorb
+     restore the identity exactly. *)
+  let c = good_cert () in
+  let gram = Qmat.copy c.Check.main.Check.gram in
+  Qmat.set gram 0 0 (Q.sub (Qmat.get gram 0 0) (Q.of_ints 1 1024));
+  Qmat.set gram 0 1 (Q.add (Qmat.get gram 0 1) (Q.of_ints 1 4096));
+  Qmat.set gram 1 0 (Q.add (Qmat.get gram 1 0) (Q.of_ints 1 4096));
+  let c = { c with Check.main = { c.Check.main with Check.gram } } in
+  Alcotest.(check bool) "residual nonzero before absorb" false
+    (Qpoly.is_zero (Check.residual c));
+  let c = Check.absorb c in
+  Alcotest.(check bool) "residual zero after absorb" true (Qpoly.is_zero (Check.residual c));
+  match Check.check c with
+  | Check.Proven { margin } -> Alcotest.(check bool) "still proven" true (Q.sign margin > 0)
+  | v -> Alcotest.fail ("expected Proven, got " ^ Check.verdict_to_string v)
+
+let test_certify_from_floats () =
+  (* Full untrusted->trusted bridge on a float Gram with noise well
+     inside the absorption budget. *)
+  let basis = [| m1 [ 0 ]; m1 [ 1 ] |] in
+  let g =
+    Linalg.Mat.of_arrays [| [| 2.0 +. 1e-10; 1.0 -. 3e-11 |]; [| 1.0 -. 3e-11; 1.0 +. 2e-10 |] |]
+  in
+  let target = Poly.of_terms 1 [ (m1 [ 0 ], 2.0); (m1 [ 1 ], 2.0); (m1 [ 2 ], 1.0) ] in
+  let _, verdict = Check.certify ~nvars:1 ~target ~sigmas:[] ~main:(basis, g) () in
+  match verdict with
+  | Check.Proven { margin } -> Alcotest.(check bool) "bridged margin > 0" true (Q.sign margin > 0)
+  | v -> Alcotest.fail ("expected Proven, got " ^ Check.verdict_to_string v)
+
+let test_certify_q_rational_target () =
+  (* Exact target with non-dyadic coefficients:
+     (1/3)(x+1)² + 1 = (1/3)x² + (2/3)x + 4/3 over basis (1, x),
+     G = [[4/3, 1/3], [1/3, 1/3]] — only available as a float
+     approximation, so the rounding residual against the exact target
+     must be absorbed. *)
+  let basis = [| m1 [ 0 ]; m1 [ 1 ] |] in
+  let g =
+    Linalg.Mat.of_arrays
+      [| [| 4.0 /. 3.0; 1.0 /. 3.0 |]; [| 1.0 /. 3.0; 1.0 /. 3.0 |] |]
+  in
+  let target =
+    Qpoly.of_terms 1
+      [ (m1 [ 0 ], Q.of_ints 4 3); (m1 [ 1 ], Q.of_ints 2 3); (m1 [ 2 ], Q.of_ints 1 3) ]
+  in
+  let c, verdict = Check.certify_q ~nvars:1 ~target ~sigmas:[] ~main:(basis, g) () in
+  Alcotest.(check bool) "identity exact after absorb" true (Qpoly.is_zero (Check.residual c));
+  match verdict with
+  | Check.Proven { margin } -> Alcotest.(check bool) "margin > 0" true (Q.sign margin > 0)
+  | v -> Alcotest.fail ("expected Proven, got " ^ Check.verdict_to_string v)
+
+let test_absorb_honest_about_unreachable () =
+  (* A residual monomial no kept Gram slot can generate (x³ over basis
+     (1, x)) must survive absorption and be reported exactly, while the
+     reachable part of the residual is still absorbed. *)
+  let c = good_cert () in
+  let target =
+    Qpoly.add c.Check.target
+      (Qpoly.of_terms 1 [ (m1 [ 3 ], Q.of_ints 1 1024); (m1 [ 1 ], Q.of_ints 1 2048) ])
+  in
+  let c = Check.absorb { c with Check.target } in
+  Alcotest.(check bool) "unreachable residual remains" true
+    (Qpoly.equal (Check.residual c) (Qpoly.of_terms 1 [ (m1 [ 3 ], Q.of_ints 1 1024) ]));
+  match Check.check c with
+  | Check.Identity_defect { monomial; defect } ->
+      Alcotest.(check bool) "defect at x^3" true (Poly.Monomial.equal monomial (m1 [ 3 ]));
+      Alcotest.check rat "exact defect" (Q.of_ints 1 1024) defect
+  | v -> Alcotest.fail ("expected Identity_defect, got " ^ Check.verdict_to_string v)
+
+(* An S-procedure certificate checked end-to-end by the kernel:
+   x >= 0 on {x - 1 >= 0}: x = 1·(x-1)·1 + 1, sigma = 1 (basis {1}),
+   main = 1 over basis {1}. *)
+let test_check_s_procedure () =
+  let sigma_block = { Check.basis = [| m1 [ 0 ] |]; gram = qm [| [| 1 |] |] } in
+  let c =
+    {
+      Check.nvars = 1;
+      target = Qpoly.of_terms 1 [ (m1 [ 1 ], Q.one) ];
+      sigmas = [ (Qpoly.of_terms 1 [ (m1 [ 1 ], Q.one); (m1 [ 0 ], Q.minus_one) ], sigma_block) ];
+      main = { Check.basis = [| m1 [ 0 ] |]; gram = qm [| [| 1 |] |] };
+    }
+  in
+  match Check.check c with
+  | Check.Proven { margin } -> Alcotest.check rat "margin 1" Q.one margin
+  | v -> Alcotest.fail ("expected Proven, got " ^ Check.verdict_to_string v)
+
+(* ----- Artifact store ----- *)
+
+let sample_artifact () =
+  let cert = good_cert () in
+  let sigma_block = { Check.basis = [| m1 [ 0 ]; m1 [ 1 ] |]; gram = qm [| [| 1; 0 |]; [| 0; 2 |] |] } in
+  (* sigma = 1 + 2x^2, main = 1: target = (1 + 2x^2)(x - 1) + 1
+     = 2x^3 - 2x^2 + x, nonnegative on {x >= 1}. *)
+  let s_cert =
+    {
+      Check.nvars = 1;
+      target =
+        Qpoly.of_terms 1
+          [ (m1 [ 1 ], Q.one); (m1 [ 2 ], Q.of_int (-2)); (m1 [ 3 ], Q.of_int 2) ];
+      sigmas = [ (Qpoly.of_terms 1 [ (m1 [ 1 ], Q.one); (m1 [ 0 ], Q.minus_one) ], sigma_block) ];
+      main = { Check.basis = [| m1 [ 0 ] |]; gram = qm [| [| 1 |] |] };
+    }
+  in
+  Artifact.create
+    ~meta:[ ("paper", "asad-jones glsvlsi 2015"); ("degree", "4") ]
+    [ ("plain-sos", cert); ("s-procedure", s_cert) ]
+
+let test_artifact_roundtrip () =
+  let a = sample_artifact () in
+  let s = Artifact.write a in
+  match Artifact.parse s with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok a' ->
+      Alcotest.(check string) "byte-identical round trip" s (Artifact.write a');
+      Alcotest.(check int) "certs preserved" 2 (List.length a'.Artifact.certs);
+      Alcotest.(check (list (pair string string))) "meta preserved" a.Artifact.meta a'.Artifact.meta;
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Check.Proven _ -> ()
+          | v -> Alcotest.fail (name ^ " no longer proven: " ^ Check.verdict_to_string v))
+        (Artifact.check_all a')
+
+let test_artifact_file_io () =
+  let a = sample_artifact () in
+  let path = Filename.temp_file "pll_sos_cert" ".artifact" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Artifact.save path a;
+      match Artifact.load path with
+      | Error e -> Alcotest.fail ("load failed: " ^ e)
+      | Ok a' -> Alcotest.(check string) "file round trip" (Artifact.write a) (Artifact.write a'))
+
+let test_artifact_rejects_garbage () =
+  (match Artifact.parse "not an artifact" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  (* truncation *)
+  let s = Artifact.write (sample_artifact ()) in
+  match Artifact.parse (String.sub s 0 (String.length s / 2)) with
+  | Ok _ -> Alcotest.fail "truncated artifact accepted"
+  | Error _ -> ()
+
+let test_artifact_corrupted_gram_rejected () =
+  (* Flip one Gram diagonal entry in the serialized form: the parse
+     still succeeds (it is well-formed text) but the kernel must reject
+     the certificate. *)
+  let s = Artifact.write (sample_artifact ()) in
+  let replace ~sub ~by s =
+    let n = String.length sub in
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i <= String.length s - n do
+      if String.sub s !i n = sub then begin
+        Buffer.add_string buf by;
+        i := !i + n
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.add_string buf (String.sub s !i (String.length s - !i));
+    Buffer.contents buf
+  in
+  let corrupted = replace ~sub:"G 0 0 2/1" ~by:"G 0 0 -2/1" s in
+  Alcotest.(check bool) "corruption applied" false (String.equal s corrupted);
+  match Artifact.parse corrupted with
+  | Error e -> Alcotest.fail ("corrupted artifact should still parse: " ^ e)
+  | Ok a ->
+      let verdicts = Artifact.check_all a in
+      Alcotest.(check bool) "corrupted Gram refuted" true
+        (List.exists
+           (fun (_, v) -> match v with Check.Block_not_psd _ | Check.Identity_defect _ -> true | _ -> false)
+           verdicts)
+
+let suite =
+  [
+    Alcotest.test_case "bigint basics" `Quick test_bigint_basics;
+    QCheck_alcotest.to_alcotest prop_add_comm;
+    QCheck_alcotest.to_alcotest prop_mul_comm;
+    QCheck_alcotest.to_alcotest prop_mul_assoc;
+    QCheck_alcotest.to_alcotest prop_distrib;
+    QCheck_alcotest.to_alcotest prop_sub_inverse;
+    QCheck_alcotest.to_alcotest prop_divmod;
+    QCheck_alcotest.to_alcotest prop_gcd;
+    QCheck_alcotest.to_alcotest prop_decimal_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    Alcotest.test_case "rat basics" `Quick test_rat_basics;
+    QCheck_alcotest.to_alcotest prop_rat_add_assoc;
+    QCheck_alcotest.to_alcotest prop_rat_mul_inverse;
+    QCheck_alcotest.to_alcotest prop_rat_distrib;
+    QCheck_alcotest.to_alcotest prop_rat_sub_cancel;
+    QCheck_alcotest.to_alcotest prop_rat_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_float_dyadic_exact;
+    QCheck_alcotest.to_alcotest prop_float_sum_exact;
+    Alcotest.test_case "ldlt on PSD matrices" `Quick test_ldlt_psd;
+    Alcotest.test_case "ldlt refutes non-PSD" `Quick test_ldlt_not_psd;
+    QCheck_alcotest.to_alcotest prop_gram_psd;
+    QCheck_alcotest.to_alcotest prop_shifted_not_psd;
+    Alcotest.test_case "exact linear solve" `Quick test_lin_solve;
+    QCheck_alcotest.to_alcotest prop_lin_solve;
+    Alcotest.test_case "qpoly exact ops" `Quick test_qpoly_exact_ops;
+    Alcotest.test_case "qpoly calculus" `Quick test_qpoly_calculus;
+    Alcotest.test_case "gram polynomial expansion" `Quick test_gram_poly;
+    Alcotest.test_case "kernel: proven" `Quick test_check_proven;
+    Alcotest.test_case "kernel: identity defect" `Quick test_check_identity_defect;
+    Alcotest.test_case "kernel: rejects indefinite gram" `Quick test_check_rejects_indefinite;
+    Alcotest.test_case "kernel: absorb repairs rounding" `Quick test_absorb_repairs_rounding;
+    Alcotest.test_case "kernel: certify from floats" `Quick test_certify_from_floats;
+    Alcotest.test_case "kernel: certify_q rational target" `Quick test_certify_q_rational_target;
+    Alcotest.test_case "kernel: honest about unreachable residual" `Quick
+      test_absorb_honest_about_unreachable;
+    Alcotest.test_case "kernel: s-procedure certificate" `Quick test_check_s_procedure;
+    Alcotest.test_case "artifact round trip" `Quick test_artifact_roundtrip;
+    Alcotest.test_case "artifact file io" `Quick test_artifact_file_io;
+    Alcotest.test_case "artifact rejects garbage" `Quick test_artifact_rejects_garbage;
+    Alcotest.test_case "artifact corrupted gram rejected" `Quick test_artifact_corrupted_gram_rejected;
+  ]

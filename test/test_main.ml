@@ -9,6 +9,7 @@ let () =
       ("hybrid", Test_hybrid.suite);
       ("pll", Test_pll.suite);
       ("certificates", Test_certificates.suite);
+      ("exact", Test_exact.suite);
       ("advect", Test_advect.suite);
       ("reachset", Test_reachset.suite);
       ("barrier", Test_barrier.suite);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo hygiene check: the build tree must stay out of version control.
+#
+# Asserts that .gitignore carries the `_build/` rule and (when run inside
+# a git work tree) that no _build artifact is actually tracked. Wired
+# into `dune runtest` from test/dune; also runnable standalone:
+#
+#     bin/check_hygiene.sh [GITIGNORE]
+set -eu
+
+fail() { echo "check_hygiene: $*" >&2; exit 1; }
+
+gitignore="${1:-"$(cd "$(dirname "$0")/.." && pwd)/.gitignore"}"
+[ -f "$gitignore" ] || fail "no .gitignore at $gitignore"
+grep -qx '_build/' "$gitignore" || fail "_build/ is not ignored by $gitignore"
+
+if command -v git >/dev/null 2>&1; then
+  root="$(git rev-parse --show-toplevel 2>/dev/null || true)"
+  if [ -n "$root" ]; then
+    tracked="$(git -C "$root" ls-files _build | head -n 1)"
+    [ -z "$tracked" ] || fail "build artifacts are tracked: $tracked"
+  fi
+fi
+
+echo "check_hygiene: OK"

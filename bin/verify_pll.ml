@@ -10,7 +10,8 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
-let run order degree robust advect_iters validate psd_tol eq_tol verbose =
+let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder deadline
+    fault_plan verbose =
   setup_logs verbose;
   let raw, default_degree =
     match order with
@@ -30,10 +31,28 @@ let run order degree robust advect_iters validate psd_tol eq_tol verbose =
       eq_tol = Option.value eq_tol ~default:base.Certificates.eq_tol;
     }
   in
-  match Pll_core.Inevitability.verify ~cert_config ~max_advect_iter:advect_iters s with
+  match
+    (* Parse the resilience options up front so a bad spec is a usage
+       error (exit 2), not a late failure. *)
+    let ( let* ) = Result.bind in
+    let* ladder = Resilient.ladder_of_string retry_ladder in
+    let* faults = Resilient.Faults.of_string fault_plan in
+    Ok
+      (Resilient.make ~ladder ~retries:(ladder <> []) ?pipeline_deadline_s:deadline
+         ~faults ())
+  with
   | Error e ->
-      Format.printf "verification FAILED: %s@." e;
-      1
+      Format.eprintf "verify_pll: %s@." e;
+      2
+  | Ok resilience -> (
+      match
+        Pll_core.Inevitability.verify ~cert_config ~max_advect_iter:advect_iters
+          ~resilience s
+      with
+      | Error e ->
+          Format.printf "verification FAILED: %s@." e;
+          Format.printf "resilience report: %s@." (Resilient.report_json resilience);
+          1
   | Ok report ->
       Format.printf "%a@.@." Pll_core.Inevitability.pp_report report;
       let ok = report.Pll_core.Inevitability.verified in
@@ -48,6 +67,8 @@ let run order degree robust advect_iters validate psd_tol eq_tol verbose =
         end
         else true
       in
+      if Resilient.failures resilience <> [] || verbose then
+        Format.printf "resilience report: %s@." (Resilient.report_json resilience);
       if ok && sim_ok then begin
         Format.printf "inevitability of phase-locking: VERIFIED@.";
         0
@@ -55,7 +76,7 @@ let run order degree robust advect_iters validate psd_tol eq_tol verbose =
       else begin
         Format.printf "inevitability of phase-locking: NOT established@.";
         1
-      end
+      end)
 
 let order =
   let order_conv = Arg.enum [ ("third", `Third); ("fourth", `Fourth) ] in
@@ -92,6 +113,29 @@ let eq_tol =
          ~doc:"A-posteriori equality tolerance on the SOS decomposition residual, \
                relative to constraint scale (default 1e-5).")
 
+let retry_ladder =
+  Arg.(value & opt string "default" & info [ "retry-ladder" ] ~docv:"SPEC"
+         ~doc:"Retry ladder for failed SDP solves: $(b,default) \
+               (equilibrate,jitter,relax:10,bump:3), $(b,none) (retries disabled — a \
+               failed solve yields a structured failure report immediately), or a \
+               comma-separated list of rungs $(b,equilibrate), $(b,jitter[:K]), \
+               $(b,relax[:F]), $(b,bump[:F]) applied cumulatively in order.")
+
+let deadline =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC"
+         ~doc:"Pipeline deadline in CPU seconds. When exceeded, in-flight solves salvage \
+               their best iterate, level bisection degrades to the smaller certified β, \
+               and advection degrades to escape certificates from the last certified \
+               front.")
+
+let fault_plan =
+  Arg.(value & opt string "none" & info [ "fault-plan" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault injection for resilience testing: comma-separated \
+               $(b,fail@S:I) (numerical failure), $(b,trunc@S:I) (truncate to best \
+               iterate), $(b,noise@S:I:MAG) (Gram noise), firing at interior-point \
+               iteration I of logical solve S (1-based; $(b,*) = every solve), on its \
+               first attempt only.")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log solver progress.")
 
 let cmd =
@@ -100,6 +144,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ order $ degree $ robust $ advect_iters $ validate $ psd_tol $ eq_tol
-      $ verbose)
+      $ retry_ladder $ deadline $ fault_plan $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,6 +16,7 @@ type config = {
   check_truncation : bool;
   mult_deg : int;
   sdp_params : Sdp.params;
+  resilience : Resilient.policy;
 }
 
 let default_config =
@@ -32,6 +33,10 @@ let default_config =
        effort — the best-iterate fallback still returns certified
        solutions for the feasible cases well within this budget. *)
     sdp_params = { Sdp.default_params with Sdp.max_iter = 60 };
+    (* Shared by every run using the default config; pipelines wanting an
+       isolated journal/deadline should install their own policy (as
+       [Pll_core.Inevitability.verify ~resilience] does). *)
+    resilience = Resilient.default ();
   }
 
 module Mat = Linalg.Mat
@@ -188,7 +193,14 @@ let certify_transport ?caps cfg (s : Pll.scaled) pt q_cur front gamma =
       Sos.add_nonneg_on ~mult_deg:cfg.mult_deg prob
         ~domain:(((Poly.neg q_cur :: cap) @ Pll.mode_domain s m) @ image_in_region)
         (Ppoly.of_poly (Poly.neg (Poly.add composed (Poly.const n gamma))));
-      let sol = Sos.solve ~params:cfg.sdp_params prob in
+      (* A failed transport check just sends the caller back for a fatter
+         candidate — probe, not ladder. *)
+      let sol, _ =
+        Resilient.solve_sos
+          (Resilient.probe cfg.resilience)
+          ~label:(Printf.sprintf "transport:%s" (Pll.mode_name m))
+          ~params:cfg.sdp_params prob
+      in
       if not sol.Sos.certified then ok := false
     end
   done;
@@ -305,7 +317,13 @@ let try_gamma cfg (s : Pll.scaled) pt q_cur gamma =
       Sos.Lexpr.zero (Ppoly.terms w)
   in
   Sos.maximize prob objective;
-  let sol = Sos.solve ~params:cfg.sdp_params prob in
+  (* Gamma probes steer a bisection — infeasibility is the answer. *)
+  let sol, _ =
+    Resilient.solve_sos
+      (Resilient.probe cfg.resilience)
+      ~label:(Printf.sprintf "gamma:%g" gamma)
+      ~params:cfg.sdp_params prob
+  in
   if sol.Sos.certified then Some (Poly.chop ~tol:1e-10 (Sos.value sol w)) else None
 
 let advect_step_sos ?(config = default_config) (s : Pll.scaled) pt q_cur =
@@ -369,6 +387,9 @@ let advect_step ?(config = default_config) ?caps (s : Pll.scaled) pt q_cur =
 let contained_in_invariant ?(mult_deg = 2) ?caps (s : Pll.scaled) ai front =
   let n = s.Pll.nvars in
   let params = { Sdp.default_params with Sdp.max_iter = 60 } in
+  (* Non-inclusion is the expected answer until the advection converges —
+     probe under the certificate's policy (shared clock/faults). *)
+  let pol = Resilient.probe ai.Certificates.cert.Certificates.cfg.Certificates.resilience in
   let ok = ref true in
   for m = 0 to Pll.n_modes - 1 do
     if !ok then begin
@@ -378,7 +399,11 @@ let contained_in_invariant ?(mult_deg = 2) ?caps (s : Pll.scaled) ai front =
       Sos.add_nonneg_on ~mult_deg prob
         ~domain:((Poly.neg front :: cap) @ Pll.mode_domain s m)
         (Ppoly.of_poly (Poly.sub (Poly.const n ai.Certificates.beta) v));
-      let sol = Sos.solve ~params prob in
+      let sol, _ =
+        Resilient.solve_sos pol
+          ~label:(Printf.sprintf "inclusion:%s" (Pll.mode_name m))
+          ~params prob
+      in
       if not sol.Sos.certified then ok := false
     end
   done;
@@ -469,6 +494,16 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
   | None -> Log.warn (fun k -> k "no certified level cap; advecting uncapped"));
   (try
      for i = 1 to max_iter do
+       (* Out of budget: stop advecting and fall through to the escape
+          certificates, which can still close the argument from the last
+          certified front — graceful degradation instead of a hang. *)
+       if Resilient.out_of_time config.resilience then begin
+         Log.warn (fun k ->
+             k "advection: pipeline deadline hit at iteration %d — degrading to escape \
+                certificates from the current front"
+               i);
+         raise Exit
+       end;
        if
          timed inclusion_time (fun () -> contained_in_invariant ?caps:!caps s ai !current)
        then begin
@@ -527,8 +562,8 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
           | [] -> Error "fixed-V escape not certified"
           | eps :: rest ->
               if
-                Certificates.check_escape ~eps ~nvars:n ~flow:(Pll.flow s pt m) ~domain
-                  ~certificate:v ()
+                Certificates.check_escape ~eps ~policy:config.resilience ~nvars:n
+                  ~flow:(Pll.flow s pt m) ~domain ~certificate:v ()
               then Ok (v, ())
               else try_eps rest
         in
@@ -539,8 +574,8 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
       | Error _ -> (
           match
             timed escape_time (fun () ->
-                Certificates.find_escape ~deg:escape_deg ~nvars:n ~flow:(Pll.flow s pt m)
-                  ~domain ())
+                Certificates.find_escape ~deg:escape_deg ~policy:config.resilience
+                  ~nvars:n ~flow:(Pll.flow s pt m) ~domain ())
           with
           | Ok (e, _) -> escapes := (m, e) :: !escapes
           | Error _ -> escapes_ok := false)

@@ -53,9 +53,20 @@ type config = {
           [map = Taylor] (default true) *)
   mult_deg : int;  (** S-procedure multiplier degree (default 2) *)
   sdp_params : Sdp.params;
+  resilience : Resilient.policy;
+      (** solve-orchestration policy (deadlines, fault plan, journal);
+          advection solves run as probes under it — their failures steer
+          the algorithm rather than escalate — while escape-certificate
+          searches climb its retry ladder. When the pipeline deadline
+          expires, {!run} stops advecting and degrades to escape
+          certificates from the last certified front. *)
 }
 
 val default_config : config
+(** Note: the default config carries one module-level {!Resilient}
+    policy shared by every caller that uses it; pipelines wanting an
+    isolated journal/deadline should install a fresh policy (as
+    [Pll_core.Inevitability.verify ~resilience] does). *)
 
 type step = {
   front : Poly.t;  (** the new front [w] *)

@@ -9,10 +9,17 @@ type config = {
   margin : float;
   mult_deg : int;
   sdp_params : Sdp.params;
+  resilience : Resilient.policy;
 }
 
 let default_config =
-  { degree = 4; margin = 1e-2; mult_deg = 2; sdp_params = Sdp.default_params }
+  {
+    degree = 4;
+    margin = 1e-2;
+    mult_deg = 2;
+    sdp_params = Sdp.default_params;
+    resilience = Resilient.default ();
+  }
 
 type route = Barrier_function | Reach_cap of float
 
@@ -45,7 +52,10 @@ let find_barrier ?(config = default_config) ~nvars ~flows ~domains ~init ~unsafe
       Sos.add_nonneg_on ~mult_deg:config.mult_deg prob ~domain
         (Ppoly.neg (Ppoly.lie_derivative b flow)))
     flows domains;
-  let sol = Sos.solve ~params:config.sdp_params prob in
+  (* No barrier means no safety argument — climb the retry ladder. *)
+  let sol, _ =
+    Resilient.solve_sos config.resilience ~label:"barrier" ~params:config.sdp_params prob
+  in
   let time_s = Sys.time () -. t0 in
   if sol.Sos.certified then
     Ok
@@ -94,8 +104,14 @@ let pll_voltage_safety ?(config = default_config) ?v_limit ?invariant (s : Pll.s
                 ~domain:(unsafe_of i @ Pll.mode_domain s m)
                 (Sos.Ppoly.of_poly
                    (Poly.sub v (Poly.const n (vmax +. config.margin))));
-              if not (Sos.solve ~params:config.sdp_params prob).Sos.certified then
-                ok := false
+              (* Failure falls back to a genuine barrier search — probe. *)
+              let sol, _ =
+                Resilient.solve_sos
+                  (Resilient.probe config.resilience)
+                  ~label:(Printf.sprintf "safety-cap:%s" (Pll.mode_name m))
+                  ~params:config.sdp_params prob
+              in
+              if not sol.Sos.certified then ok := false
             end
           done
         done;
@@ -185,6 +201,11 @@ let disturbed_flow (s : Pll.scaled) pt m d =
 let check_retention mult_deg (s : Pll.scaled) ai d_max level =
   let pt = Pll.nominal s in
   let n = s.Pll.nvars in
+  (* Retention failures steer the level scan — probe under the
+     certificate's policy. *)
+  let pol =
+    Resilient.probe ai.Certificates.cert.Certificates.cfg.Certificates.resilience
+  in
   let ok = ref true in
   for m = 0 to Pll.n_modes - 1 do
     if !ok then begin
@@ -198,7 +219,11 @@ let check_retention mult_deg (s : Pll.scaled) ai d_max level =
             Sos.add_nonneg_on ~mult_deg prob ~equalities:[ boundary ]
               ~domain:(Pll.mode_domain s m)
               (Ppoly.neg (Ppoly.of_poly (Poly.lie_derivative v f)));
-            let sol = Sos.solve prob in
+            let sol, _ =
+              Resilient.solve_sos pol
+                ~label:(Printf.sprintf "retention:%s" (Pll.mode_name m))
+                prob
+            in
             if not sol.Sos.certified then ok := false
           end)
         [ d_max; -.d_max ]
@@ -212,8 +237,7 @@ let check_retention mult_deg (s : Pll.scaled) ai d_max level =
    return the largest certified level. *)
 let level_grid = [ 1.0; 0.85; 0.7; 0.55; 0.4; 0.25; 0.15 ]
 
-let lock_retention ?(mult_deg = 2) ?bisect_steps (s : Pll.scaled) ai ~d_max =
-  ignore bisect_steps;
+let lock_retention ?(mult_deg = 2) ?(bisect_steps = 0) (s : Pll.scaled) ai ~d_max =
   let t0 = Sys.time () in
   let beta = ai.Certificates.beta in
   let stats time_s =
@@ -226,15 +250,30 @@ let lock_retention ?(mult_deg = 2) ?bisect_steps (s : Pll.scaled) ai ~d_max =
       max_residual = 0.0;
     }
   in
-  let rec scan = function
+  let check level = check_retention mult_deg s ai d_max level in
+  (* [failed_above] is the smallest grid fraction above [f] that failed;
+     once a grid point certifies, bisect into that gap to recover level
+     resolution the coarse grid loses. Certifiability is not monotone in
+     the level, so every probe is itself verified — the result is always
+     a certified level; bisection can only enlarge it. *)
+  let rec scan failed_above = function
     | [] -> Error "no positive invariant level under this disturbance bound"
     | f :: rest ->
-        let level = f *. beta in
-        if check_retention mult_deg s ai d_max level then
-          Ok { level; d_max; stats = stats (Sys.time () -. t0) }
-        else scan rest
+        if check (f *. beta) then begin
+          let lo = ref f in
+          (match failed_above with
+          | Some p ->
+              let hi = ref p in
+              for _ = 1 to bisect_steps do
+                let mid = 0.5 *. (!lo +. !hi) in
+                if check (mid *. beta) then lo := mid else hi := mid
+              done
+          | None -> ());
+          Ok { level = !lo *. beta; d_max; stats = stats (Sys.time () -. t0) }
+        end
+        else scan (Some f) rest
   in
-  scan level_grid
+  scan None level_grid
 
 let max_rejected_disturbance ?(mult_deg = 2) ?(steps = 8) (s : Pll.scaled) ai =
   let beta = ai.Certificates.beta in

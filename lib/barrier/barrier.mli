@@ -27,6 +27,11 @@ type config = {
   margin : float;  (** strict separation on the unsafe set (default 1e-2) *)
   mult_deg : int;  (** S-procedure multiplier degree (default 2) *)
   sdp_params : Sdp.params;
+  resilience : Resilient.policy;
+      (** solve orchestration: the barrier search climbs the retry
+          ladder (its failure abandons the safety argument), while the
+          reach-cap face checks run as probes (their failure falls back
+          to the barrier search) *)
 }
 
 val default_config : config
@@ -113,7 +118,11 @@ val lock_retention :
     disturbed Lie derivative is non-positive for both vertex
     disturbances [±d_max]. A PLL that has locked (state in the
     certified set) retains lock under any such disturbance.
-    [bisect_steps] is accepted for compatibility and ignored. *)
+    [bisect_steps] (default 0) refines the grid answer: once a grid
+    fraction certifies, bisect that many times into the gap up to the
+    smallest failed fraction above it, keeping the largest level that
+    {e itself} certifies — each probe is verified, so non-monotonicity
+    cannot produce an uncertified answer. *)
 
 val max_rejected_disturbance :
   ?mult_deg:int -> ?steps:int -> Pll.scaled -> Certificates.attractive_invariant -> float

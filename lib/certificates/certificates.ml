@@ -12,6 +12,7 @@ type config = {
   sdp_params : Sdp.params;
   psd_tol : float;
   eq_tol : float;
+  resilience : Resilient.policy;
 }
 
 let default_config order =
@@ -23,6 +24,7 @@ let default_config order =
     sdp_params = Sdp.default_params;
     psd_tol = 1e-7;
     eq_tol = 1e-5;
+    resilience = Resilient.default ();
   }
 
 type stats = {
@@ -49,8 +51,11 @@ let stats_of prob (sol : Sos.solution) time_s =
     max_residual = sol.Sos.max_eq_residual;
   }
 
-let find_multi_lyapunov ?config (s : Pll.scaled) =
-  let cfg = match config with Some c -> c | None -> default_config s.Pll.order in
+(* One certificate-search solve at the given margins, orchestrated by
+   the config's resilience policy. The caller (the public
+   [find_multi_lyapunov], defined after [validate_exactly]) decides what
+   a Degraded outcome means. *)
+let search_multi_lyapunov (cfg : config) (s : Pll.scaled) =
   let n = s.Pll.nvars in
   let t_start = Sys.time () in
   let prob = Sos.create ~nvars:n in
@@ -94,18 +99,14 @@ let find_multi_lyapunov ?config (s : Pll.scaled) =
         (Sos.n_equalities prob) (Sos.n_gram_blocks prob));
   Log.info (fun k ->
       k "a posteriori tolerances: psd_tol %.2e, eq_tol %.2e" cfg.psd_tol cfg.eq_tol);
-  let sol = Sos.solve ~params:cfg.sdp_params ~psd_tol:cfg.psd_tol ~eq_tol:cfg.eq_tol prob in
+  let sol, diag =
+    Resilient.solve_sos cfg.resilience ~label:"multi-lyapunov" ~params:cfg.sdp_params
+      ~psd_tol:cfg.psd_tol ~eq_tol:cfg.eq_tol prob
+  in
   let time_s = Sys.time () -. t_start in
-  if not sol.Sos.certified then
-    Error
-      (Printf.sprintf
-         "multi-Lyapunov SOS program not certified (feasible=%b, min gram eig %.2e, \
-          max residual %.2e) — try a higher degree"
-         sol.Sos.feasible sol.Sos.min_gram_eig sol.Sos.max_eq_residual)
-  else begin
-    let values = Array.map (fun v -> Poly.chop ~tol:1e-9 (Sos.value sol v)) vs in
-    Ok { vs = values; cfg; solve_stats = stats_of prob sol time_s }
-  end
+  let values () = Array.map (fun v -> Poly.chop ~tol:1e-9 (Sos.value sol v)) vs in
+  let candidate () = { vs = values (); cfg; solve_stats = stats_of prob sol time_s } in
+  (sol, diag, candidate)
 
 (* ----- exact a-posteriori validation ----- *)
 
@@ -117,7 +118,8 @@ let find_multi_lyapunov ?config (s : Pll.scaled) =
    then the main block. The domain is pre-normalized exactly as
    [add_nonneg_on] normalizes it, so the rational embeddings of the g's
    match the σ blocks they multiply. *)
-let exact_condition ?mult_deg ?denom_bits ~sdp_params ~nvars ~domain target_q =
+let exact_condition ?mult_deg ?denom_bits ~policy ~label ~sdp_params ~nvars ~domain
+    target_q =
   let normalize g =
     let c = Poly.max_coeff g in
     if c > 0.0 then Poly.scale (1.0 /. c) g else g
@@ -125,7 +127,14 @@ let exact_condition ?mult_deg ?denom_bits ~sdp_params ~nvars ~domain target_q =
   let domain = List.map normalize domain in
   let prob = Sos.create ~nvars in
   Sos.add_nonneg_on ?mult_deg prob ~domain (Ppoly.of_poly (Exact.Qpoly.to_poly target_q));
-  let sol = Sos.solve ~params:sdp_params prob in
+  (* Acceptance here is plain solver feasibility: soundness is
+     established downstream by the exact kernel, so the ladder should
+     not insist on the float Gram checks. *)
+  let sol, _diag =
+    Resilient.solve_sos policy ~label ~params:sdp_params
+      ~accept:(fun (s : Sos.solution) -> s.Sos.feasible)
+      prob
+  in
   if not sol.Sos.feasible then Error "multiplier re-solve did not converge"
   else begin
     let bases = Sos.gram_bases prob in
@@ -233,8 +242,9 @@ let validate_exactly ?mult_deg ?denom_bits ?(slack = 0.5) (s : Pll.scaled) cert 
               let name, domain, theta_star, target = switch_cond surf in
               if theta_star <> 0.0 then
                 match
-                  exact_condition ?mult_deg ?denom_bits ~sdp_params:cert.cfg.sdp_params
-                    ~nvars:n ~domain target
+                  exact_condition ?mult_deg ?denom_bits ~policy:cert.cfg.resilience
+                    ~label:("repair:" ^ name) ~sdp_params:cert.cfg.sdp_params ~nvars:n
+                    ~domain target
                 with
                 | Ok (c, Exact.Check.Identity_defect _) ->
                     let ts = R.of_float theta_star in
@@ -302,8 +312,9 @@ let validate_exactly ?mult_deg ?denom_bits ?(slack = 0.5) (s : Pll.scaled) cert 
     | [] -> Ok (List.rev acc)
     | (name, domain, target) :: rest -> (
         match
-          exact_condition ?mult_deg ?denom_bits ~sdp_params:cert.cfg.sdp_params ~nvars:n
-            ~domain target
+          exact_condition ?mult_deg ?denom_bits ~policy:cert.cfg.resilience
+            ~label:("exact:" ^ name) ~sdp_params:cert.cfg.sdp_params ~nvars:n ~domain
+            target
         with
         | Error e -> Error (name ^ ": " ^ e)
         | Ok (c, v) ->
@@ -337,12 +348,68 @@ let validate_exactly ?mult_deg ?denom_bits ?(slack = 0.5) (s : Pll.scaled) cert 
       in
       Ok { artifact; verdicts; all_proven; min_margin; vs_exact = vq }
 
+(* The public certificate search, defined after [validate_exactly] so a
+   Degraded float solve can be gated on the exact kernel re-proving it.
+   When the resilience policy allows retries, a failed (or rejected
+   degraded) search is re-run with the positivity/decrease margins
+   scaled down — a certificate with smaller strict margins is still a
+   sound certificate, just a weaker time-to-lock bound. The returned
+   [t.cfg] records the margins actually certified. *)
+let find_multi_lyapunov ?config (s : Pll.scaled) =
+  let cfg = match config with Some c -> c | None -> default_config s.Pll.order in
+  let fracs =
+    if cfg.resilience.Resilient.retries_enabled then [ 1.0; 0.5; 0.25 ] else [ 1.0 ]
+  in
+  let describe (diag : Resilient.diagnosis) =
+    Printf.sprintf
+      "multi-Lyapunov SOS program failed — try a higher degree; diagnosis: %s"
+      (Resilient.diagnosis_to_json diag)
+  in
+  let rec go last_err = function
+    | [] -> (
+        match last_err with
+        | Some e -> Error e
+        | None -> Error "multi-Lyapunov search: empty margin schedule")
+    | frac :: rest -> (
+        let cfg_f =
+          if frac = 1.0 then cfg
+          else { cfg with eps_pos = cfg.eps_pos *. frac; eps_decr = cfg.eps_decr *. frac }
+        in
+        if frac < 1.0 then
+          Log.warn (fun k ->
+              k "multi-Lyapunov: retrying with margins scaled by %g (eps_pos %.2e, \
+                 eps_decr %.2e)"
+                frac cfg_f.eps_pos cfg_f.eps_decr);
+        let _sol, diag, candidate = search_multi_lyapunov cfg_f s in
+        match diag.Resilient.outcome with
+        | Resilient.Certified -> Ok (candidate ())
+        | Resilient.Degraded -> (
+            let cand = candidate () in
+            Log.warn (fun k ->
+                k "multi-Lyapunov: degraded float solve — gating acceptance on exact \
+                   validation");
+            match validate_exactly s cand with
+            | Ok v when v.all_proven ->
+                Log.warn (fun k ->
+                    k "multi-Lyapunov: degraded solve ACCEPTED — exact kernel re-proved \
+                       all %d conditions"
+                      (List.length v.verdicts));
+                Ok cand
+            | Ok _ | Error _ -> go (Some (describe diag)) rest)
+        | Resilient.Failed -> go (Some (describe diag)) rest)
+  in
+  go None fracs
+
 (* {V_q <= beta} ∩ slab_q must keep a strict margin inside every
    containment constraint of mode q. *)
 let check_level ?(mult_deg = 2) (s : Pll.scaled) cert beta =
   let mult_deg = Some mult_deg in
+  (* A failed level check is an expected answer that steers the
+     bisection, not an error: probe policy (no retries, quiet), but
+     sharing the pipeline clock and fault plan. *)
+  let pol = Resilient.probe cert.cfg.resilience in
   let margin = 1e-3 in
-  let ok = ref true in
+  let ok = ref (not (Resilient.out_of_time pol)) in
   (* Cheap numeric prefilter: a sampled counterexample refutes the level
      without touching the SDP. *)
   let n = s.Pll.nvars in
@@ -382,7 +449,11 @@ let check_level ?(mult_deg = 2) (s : Pll.scaled) cert beta =
               Ppoly.of_poly (Poly.sub g (Poly.const n margin))
             in
             Sos.add_nonneg_on ?mult_deg prob ~domain:(sublevel :: slab) target;
-            let sol = Sos.solve prob in
+            let sol, _ =
+              Resilient.solve_sos pol
+                ~label:(Printf.sprintf "level:%s" (Pll.mode_name m))
+                prob
+            in
             if not sol.Sos.certified then ok := false
           end)
         (Pll.containment_constraints s m)
@@ -392,14 +463,31 @@ let check_level ?(mult_deg = 2) (s : Pll.scaled) cert beta =
 
 let maximize_level ?(bisect_steps = 20) ?(beta_hi = 2000.0) (s : Pll.scaled) cert =
   let t_start = Sys.time () in
+  let pol = cert.cfg.resilience in
   let lo = ref 0.0 and hi = ref beta_hi in
   (* Grow hi if it is certifiable outright? beta_hi is assumed infeasible. *)
   if check_level s cert !hi then lo := !hi
-  else
-    for _ = 1 to bisect_steps do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if check_level s cert mid then lo := mid else hi := mid
-    done;
+  else begin
+    let step = ref 0 in
+    let stopped = ref false in
+    while !step < bisect_steps && not !stopped do
+      incr step;
+      (* A stuck/over-budget bisection degrades gracefully: stop and
+         return the largest level certified so far — a smaller but still
+         sound attractive invariant. *)
+      if Resilient.out_of_time pol then begin
+        stopped := true;
+        Log.warn (fun k ->
+            k "level bisection: pipeline deadline hit after %d step(s) — degrading to \
+               certified β = %g"
+              (!step - 1) !lo)
+      end
+      else begin
+        let mid = 0.5 *. (!lo +. !hi) in
+        if check_level s cert mid then lo := mid else hi := mid
+      end
+    done
+  end;
   let time_s = Sys.time () -. t_start in
   ( !lo,
     {
@@ -435,6 +523,7 @@ let upper_bound_on_set ?(extra_domain = []) (s : Pll.scaled) cert ~set =
   let n = s.Pll.nvars in
   let bound = ref 0.0 in
   let failed = ref None in
+  let pol = cert.cfg.resilience in
   for m = 0 to Pll.n_modes - 1 do
     if !failed = None then begin
       let domain = (Poly.neg set :: extra_domain) @ Pll.mode_domain s m in
@@ -443,10 +532,15 @@ let upper_bound_on_set ?(extra_domain = []) (s : Pll.scaled) cert ~set =
          (−1 >= 0 on the region is provable iff the region is empty). *)
       let budget = { Sdp.default_params with Sdp.max_iter = 60 } in
       let empty =
+        (* Emptiness failing just means the region is non-empty — probe. *)
         let prob = Sos.create ~nvars:n in
         Sos.add_nonneg_on ~mult_deg:2 prob ~domain
           (Ppoly.of_poly (Poly.const n (-1.0)));
-        (Sos.solve ~params:budget prob).Sos.certified
+        (fst
+           (Resilient.solve_sos (Resilient.probe pol)
+              ~label:(Printf.sprintf "bound-empty:%s" (Pll.mode_name m))
+              ~params:budget prob))
+          .Sos.certified
       in
       if not empty then begin
         let prob = Sos.create ~nvars:n in
@@ -455,7 +549,13 @@ let upper_bound_on_set ?(extra_domain = []) (s : Pll.scaled) cert ~set =
         Sos.add_nonneg_on ~mult_deg:2 prob ~domain
           (Ppoly.sub (Ppoly.scale_expr u (Poly.one n)) (Ppoly.of_poly cert.vs.(m)));
         Sos.maximize prob (Sos.Lexpr.neg u);
-        let sol = Sos.solve ~params:budget prob in
+        (* An uncertified bound aborts the advection pipeline — full
+           retry ladder. *)
+        let sol, _ =
+          Resilient.solve_sos pol
+            ~label:(Printf.sprintf "bound:%s" (Pll.mode_name m))
+            ~params:budget prob
+        in
         if sol.Sos.certified then begin
           let v = Sos.Lexpr.eval sol.Sos.assign u in
           if v > !bound then bound := v
@@ -509,7 +609,8 @@ let time_to_lock_bound ?(samples = 200) (s : Pll.scaled) ai ~from_level =
     else (from_level -. beta) /. (eps *. !r_min *. !r_min)
   end
 
-let check_escape ?(mult_deg = 2) ?(eps = 1e-2) ~nvars ~flow ~domain ~certificate () =
+let check_escape ?(mult_deg = 2) ?(eps = 1e-2) ?policy ~nvars ~flow ~domain ~certificate
+    () =
   let prob = Sos.create ~nvars in
   Sos.add_nonneg_on ~mult_deg prob ~domain
     (Ppoly.of_poly
@@ -517,9 +618,14 @@ let check_escape ?(mult_deg = 2) ?(eps = 1e-2) ~nvars ~flow ~domain ~certificate
           (Poly.neg (Poly.lie_derivative certificate flow))
           (Poly.const nvars eps)));
   let params = { Sdp.default_params with Sdp.max_iter = 60 } in
-  (Sos.solve ~params prob).Sos.certified
+  match policy with
+  | None -> (Sos.solve ~params prob).Sos.certified
+  | Some pol ->
+      (* Failure falls back to the escape search — probe. *)
+      (fst (Resilient.solve_sos (Resilient.probe pol) ~label:"escape-check" ~params prob))
+        .Sos.certified
 
-let find_escape ?(deg = 4) ?(eps = 1e-2) ?sdp_params ~nvars ~flow ~domain () =
+let find_escape ?(deg = 4) ?(eps = 1e-2) ?sdp_params ?policy ~nvars ~flow ~domain () =
   let t_start = Sys.time () in
   let prob = Sos.create ~nvars in
   let e = Sos.fresh_poly prob ~deg ~min_deg:1 in
@@ -528,7 +634,13 @@ let find_escape ?(deg = 4) ?(eps = 1e-2) ?sdp_params ~nvars ~flow ~domain () =
     (Ppoly.sub
        (Ppoly.neg (Ppoly.lie_derivative e flow))
        (Ppoly.of_poly (Poly.const nvars eps)));
-  let sol = Sos.solve ?params:sdp_params prob in
+  let sol =
+    match policy with
+    | None -> Sos.solve ?params:sdp_params prob
+    | Some pol ->
+        (* No escape certificate stalls the advection loop — ladder. *)
+        fst (Resilient.solve_sos pol ~label:"escape-search" ?params:sdp_params prob)
+  in
   let time_s = Sys.time () -. t_start in
   if sol.Sos.certified then Ok (Poly.chop ~tol:1e-9 (Sos.value sol e), stats_of prob sol time_s)
   else Error "no escape certificate at this degree"

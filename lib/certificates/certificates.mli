@@ -28,11 +28,15 @@ type config = {
   eq_tol : float;
       (** a posteriori equality-residual tolerance handed to
           {!Sos.solve} *)
+  resilience : Resilient.policy;
+      (** solve-orchestration policy: retry ladder, deadlines, fault
+          plan and failure journal shared by every solve this config
+          drives (see {!Resilient}) *)
 }
 
 val default_config : Pll.order -> config
 (** Paper degrees (6 / 4), margins [1e-2]/[1e-3], nominal parameters,
-    tolerances [1e-7]/[1e-5]. *)
+    tolerances [1e-7]/[1e-5], a fresh {!Resilient.default} policy. *)
 
 (** A multiple-Lyapunov certificate, one polynomial per PFD mode. *)
 type t = {
@@ -53,7 +57,14 @@ and stats = {
 val find_multi_lyapunov : ?config:config -> Pll.scaled -> (t, string) result
 (** The paper's first SOS program — constraints (a), (b), (c) of §3 for
     the three PFD modes, with S-procedure domain restrictions and
-    direction-restricted switching surfaces. *)
+    direction-restricted switching surfaces. The solve runs under the
+    config's {!Resilient} policy: solver failures climb the retry
+    ladder; a degraded (salvaged) float solution is accepted only when
+    {!validate_exactly} re-proves every condition; with retries enabled
+    a failed search is re-run with the strictness margins scaled down
+    (0.5×, then 0.25× — the returned [t.cfg] records the margins
+    actually certified). On failure the error string carries the
+    machine-readable {!Resilient.diagnosis} of the last attempt chain. *)
 
 (** {1 Exact a-posteriori validation}
 
@@ -150,6 +161,7 @@ val time_to_lock_bound :
 val check_escape :
   ?mult_deg:int ->
   ?eps:float ->
+  ?policy:Resilient.policy ->
   nvars:int ->
   flow:Poly.t array ->
   domain:Poly.t list ->
@@ -166,6 +178,7 @@ val find_escape :
   ?deg:int ->
   ?eps:float ->
   ?sdp_params:Sdp.params ->
+  ?policy:Resilient.policy ->
   nvars:int ->
   flow:Poly.t array ->
   domain:Poly.t list ->

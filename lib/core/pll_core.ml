@@ -25,7 +25,25 @@ module Inevitability = struct
     | Pll.Third -> [| 1.5; 1.5; 1.2 |]
     | Pll.Fourth -> [| 0.9; 0.9; 0.9; 0.72 |]
 
-  let verify ?cert_config ?adv_config ?max_advect_iter ?init_radii (s : Pll.scaled) =
+  let verify ?cert_config ?adv_config ?max_advect_iter ?init_radii ?resilience
+      (s : Pll.scaled) =
+    (* One policy across both phases: shared pipeline deadline, one
+       chronological journal, and logical solve indices that a fault
+       plan can target deterministically. *)
+    let cert_config, adv_config =
+      match resilience with
+      | None -> (cert_config, adv_config)
+      | Some pol ->
+          Resilient.begin_pipeline pol;
+          let cc =
+            match cert_config with
+            | Some c -> c
+            | None -> Certificates.default_config s.Pll.order
+          in
+          let ac = Option.value adv_config ~default:Advect.default_config in
+          ( Some { cc with Certificates.resilience = pol },
+            Some { ac with Advect.resilience = pol } )
+    in
     match Certificates.attractive_invariant ?config:cert_config s with
     | Error e -> Error ("P1 failed: " ^ e)
     | Ok invariant ->

@@ -38,11 +38,17 @@ module Inevitability : sig
     ?adv_config:Advect.config ->
     ?max_advect_iter:int ->
     ?init_radii:float array ->
+    ?resilience:Resilient.policy ->
     Pll.scaled ->
     (report, string) result
   (** Run the two-pronged verification on a scaled CP PLL model.
       [init_radii] are the semi-axes of the ellipsoidal initial set [X2]
-      (default: 80% of the domain box). *)
+      (default: 80% of the domain box). [resilience], when given, is
+      installed as the single solve-orchestration policy of both phases
+      (overriding whatever the configs carry) and reset via
+      {!Resilient.begin_pipeline}: one shared pipeline deadline, one
+      failure journal, and deterministic logical solve indices for fault
+      plans. *)
 
   val default_init_radii : Pll.scaled -> float array
   (** The default [X2] semi-axes. *)

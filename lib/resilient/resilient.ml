@@ -1,0 +1,492 @@
+(* Resilient solve orchestration: retry ladders, deadlines, fault
+   injection and graceful degradation around Sdp.solve / Sos.solve. *)
+
+let src = Logs.Src.create "resilient" ~doc:"Resilient SOS/SDP solve orchestration"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = struct
+  type kind = Fail | Truncate | Noise of float
+  type spec = { kind : kind; solve : int; iter : int }
+  type plan = { specs : spec list; mutable fired : int }
+
+  let none () = { specs = []; fired = 0 }
+  let of_specs specs = { specs; fired = 0 }
+  let is_empty p = p.specs = []
+  let fired p = p.fired
+
+  let spec_to_string s =
+    let site = if s.solve = 0 then "*" else string_of_int s.solve in
+    match s.kind with
+    | Fail -> Printf.sprintf "fail@%s:%d" site s.iter
+    | Truncate -> Printf.sprintf "trunc@%s:%d" site s.iter
+    | Noise m -> Printf.sprintf "noise@%s:%d:%g" site s.iter m
+
+  let to_string p = String.concat "," (List.map spec_to_string p.specs)
+
+  let parse_spec tok =
+    let fail () = Error (Printf.sprintf "bad fault spec %S (want fail@S:I, trunc@S:I or noise@S:I:MAG)" tok) in
+    match String.index_opt tok '@' with
+    | None -> fail ()
+    | Some at -> (
+        let kind_s = String.sub tok 0 at in
+        let rest = String.sub tok (at + 1) (String.length tok - at - 1) in
+        let parts = String.split_on_char ':' rest in
+        let solve_of s = if s = "*" then Some 0 else int_of_string_opt s in
+        match (kind_s, parts) with
+        | "fail", [ s; i ] -> (
+            match (solve_of s, int_of_string_opt i) with
+            | Some solve, Some iter -> Ok { kind = Fail; solve; iter }
+            | _ -> fail ())
+        | "trunc", [ s; i ] -> (
+            match (solve_of s, int_of_string_opt i) with
+            | Some solve, Some iter -> Ok { kind = Truncate; solve; iter }
+            | _ -> fail ())
+        | "noise", [ s; i; m ] -> (
+            match (solve_of s, int_of_string_opt i, float_of_string_opt m) with
+            | Some solve, Some iter, Some mag -> Ok { kind = Noise mag; solve; iter }
+            | _ -> fail ())
+        | _ -> fail ())
+
+  let of_string str =
+    let str = String.trim str in
+    if str = "" || str = "none" then Ok (none ())
+    else
+      let toks = List.map String.trim (String.split_on_char ',' str) in
+      let rec go acc = function
+        | [] -> Ok (of_specs (List.rev acc))
+        | t :: rest -> ( match parse_spec t with Ok s -> go (s :: acc) rest | Error e -> Error e)
+      in
+      go [] toks
+
+  (* Faults fire only on the first attempt of their target solve, so the
+     retry ladder gets a clean re-solve to recover with. *)
+  let hook plan ~solve_index ~attempt =
+    if attempt > 0 then None
+    else
+      let relevant =
+        List.filter (fun s -> s.solve = 0 || s.solve = solve_index) plan.specs
+      in
+      if relevant = [] then None
+      else
+        Some
+          (fun iter ->
+            match List.find_opt (fun s -> s.iter = iter) relevant with
+            | None -> None
+            | Some s ->
+                plan.fired <- plan.fired + 1;
+                Some
+                  (match s.kind with
+                  | Fail -> Sdp.Fail_now
+                  | Truncate -> Sdp.Stop_now
+                  | Noise m -> Sdp.Perturb m))
+
+  let reset plan = plan.fired <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Retry ladder                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type rung =
+  | Baseline
+  | Equilibrate
+  | Jitter of int
+  | Relax_tol of float
+  | Bump_iters of float
+
+let rung_name = function
+  | Baseline -> "baseline"
+  | Equilibrate -> "equilibrate"
+  | Jitter k -> Printf.sprintf "jitter:%d" k
+  | Relax_tol f -> Printf.sprintf "relax:%g" f
+  | Bump_iters f -> Printf.sprintf "bump:%g" f
+
+let default_ladder = [ Equilibrate; Jitter 1; Relax_tol 10.0; Bump_iters 3.0 ]
+let ladder_to_string l = String.concat "," (List.map rung_name l)
+
+let ladder_of_string str =
+  let str = String.trim str in
+  if str = "default" then Ok default_ladder
+  else if str = "none" || str = "" then Ok []
+  else
+    let parse_tok tok =
+      let name, arg =
+        match String.index_opt tok ':' with
+        | None -> (tok, None)
+        | Some i ->
+            (String.sub tok 0 i, Some (String.sub tok (i + 1) (String.length tok - i - 1)))
+      in
+      let bad () = Error (Printf.sprintf "bad ladder rung %S" tok) in
+      match (name, arg) with
+      | "equilibrate", None -> Ok Equilibrate
+      | "jitter", None -> Ok (Jitter 1)
+      | "jitter", Some a -> (
+          match int_of_string_opt a with Some k when k >= 1 -> Ok (Jitter k) | _ -> bad ())
+      | "relax", None -> Ok (Relax_tol 10.0)
+      | "relax", Some a -> (
+          match float_of_string_opt a with Some f when f > 1.0 -> Ok (Relax_tol f) | _ -> bad ())
+      | "bump", None -> Ok (Bump_iters 3.0)
+      | "bump", Some a -> (
+          match float_of_string_opt a with Some f when f > 1.0 -> Ok (Bump_iters f) | _ -> bad ())
+      | _ -> bad ()
+    in
+    let toks = List.map String.trim (String.split_on_char ',' str) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | t :: rest -> ( match parse_tok t with Ok r -> go (r :: acc) rest | Error e -> Error e)
+    in
+    go [] toks
+
+(* Rungs escalate cumulatively: each attempt's parameters build on the
+   previous attempt's, so e.g. the Relax_tol attempt is still
+   equilibrated and jittered. *)
+let apply_rung (p : Sdp.params) = function
+  | Baseline -> p
+  | Equilibrate -> { p with Sdp.equilibrate = true }
+  | Jitter k ->
+      let scales = [| 0.25; 4.0; 0.05 |] and steps = [| 0.95; 0.9; 0.85 |] in
+      let i = (max 1 k - 1) mod 3 in
+      { p with Sdp.init_scale = scales.(i); step_frac = steps.(i) }
+  | Relax_tol f -> { p with Sdp.tol_gap = p.Sdp.tol_gap *. f; tol_res = p.Sdp.tol_res *. f }
+  | Bump_iters f ->
+      { p with Sdp.max_iter = int_of_float (ceil (float_of_int p.Sdp.max_iter *. f)) }
+
+(* ------------------------------------------------------------------ *)
+(* Attempts, diagnoses, policy                                        *)
+(* ------------------------------------------------------------------ *)
+
+type attempt = {
+  rung : rung;
+  status : Sdp.status;
+  iterations : int;
+  gap : float;
+  primal_res : float;
+  dual_res : float;
+  best_score : float;
+  faults_fired : int;
+  time_s : float;
+}
+
+type outcome = Certified | Degraded | Failed
+
+type diagnosis = {
+  label : string;
+  solve_index : int;
+  attempts : attempt list;
+  outcome : outcome;
+  accepted_rung : rung option;
+  deadline_hit : bool;
+}
+
+type policy = {
+  ladder : rung list;
+  retries_enabled : bool;
+  accept_degraded : bool;
+  quiet : bool;
+  solve_deadline_s : float option;
+  pipeline_deadline_s : float option;
+  faults : Faults.plan;
+  clock : clock;
+}
+
+and clock = {
+  mutable started : float option;
+  mutable solve_count : int;
+  mutable journal_rev : diagnosis list;
+}
+
+let fresh_clock () = { started = None; solve_count = 0; journal_rev = [] }
+
+let make ?(ladder = default_ladder) ?(retries = true) ?(accept_degraded = true)
+    ?solve_deadline_s ?pipeline_deadline_s ?(faults = Faults.none ()) () =
+  {
+    ladder;
+    retries_enabled = retries;
+    accept_degraded;
+    quiet = false;
+    solve_deadline_s;
+    pipeline_deadline_s;
+    faults;
+    clock = fresh_clock ();
+  }
+
+let default () = make ()
+let probe p = { p with retries_enabled = false; quiet = true }
+
+let begin_pipeline p =
+  p.clock.started <- Some (Sys.time ());
+  p.clock.solve_count <- 0;
+  p.clock.journal_rev <- [];
+  Faults.reset p.faults
+
+let ensure_started p =
+  if p.clock.started = None then p.clock.started <- Some (Sys.time ())
+
+let elapsed_s p =
+  match p.clock.started with None -> 0.0 | Some t0 -> Sys.time () -. t0
+
+let out_of_time p =
+  match p.pipeline_deadline_s with
+  | None -> false
+  | Some d ->
+      ensure_started p;
+      elapsed_s p >= d
+
+let solves p = p.clock.solve_count
+let journal p = List.rev p.clock.journal_rev
+let failures p = List.filter (fun d -> d.outcome = Failed) (journal p)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let status_string = function
+  | Sdp.Optimal -> "optimal"
+  | Sdp.Near_optimal -> "near_optimal"
+  | Sdp.Primal_infeasible -> "primal_infeasible"
+  | Sdp.Dual_infeasible -> "dual_infeasible"
+  | Sdp.Max_iterations -> "max_iterations"
+  | Sdp.Numerical_failure -> "numerical_failure"
+
+let outcome_string = function
+  | Certified -> "certified"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.6g" f
+
+let attempt_to_json a =
+  Printf.sprintf
+    "{\"rung\":\"%s\",\"status\":\"%s\",\"iterations\":%d,\"gap\":%s,\"primal_res\":%s,\"dual_res\":%s,\"best_score\":%s,\"faults_fired\":%d,\"time_s\":%s}"
+    (json_escape (rung_name a.rung))
+    (status_string a.status) a.iterations (json_float a.gap) (json_float a.primal_res)
+    (json_float a.dual_res) (json_float a.best_score) a.faults_fired (json_float a.time_s)
+
+let diagnosis_to_json d =
+  Printf.sprintf
+    "{\"label\":\"%s\",\"solve_index\":%d,\"outcome\":\"%s\",\"accepted_rung\":%s,\"deadline_hit\":%b,\"attempts\":[%s]}"
+    (json_escape d.label) d.solve_index (outcome_string d.outcome)
+    (match d.accepted_rung with
+    | None -> "null"
+    | Some r -> Printf.sprintf "\"%s\"" (json_escape (rung_name r)))
+    d.deadline_hit
+    (String.concat "," (List.map attempt_to_json d.attempts))
+
+let pp_attempt fmt a =
+  Format.fprintf fmt "%s: %s after %d iters (gap %.2e, pres %.2e, dres %.2e%s)"
+    (rung_name a.rung) (status_string a.status) a.iterations a.gap a.primal_res a.dual_res
+    (if a.faults_fired > 0 then Printf.sprintf ", %d fault(s) fired" a.faults_fired else "")
+
+let pp_diagnosis fmt d =
+  Format.fprintf fmt "@[<v 2>solve #%d %S: %s%s%s@,%a@]" d.solve_index d.label
+    (outcome_string d.outcome)
+    (match d.accepted_rung with
+    | Some r when d.outcome <> Failed -> Printf.sprintf " at rung %s" (rung_name r)
+    | _ -> "")
+    (if d.deadline_hit then " [deadline hit]" else "")
+    (Format.pp_print_list pp_attempt)
+    d.attempts
+
+let report_json p =
+  let js = journal p in
+  let bad = List.filter (fun d -> d.outcome <> Certified) js in
+  Printf.sprintf
+    "{\"solves\":%d,\"faults_fired\":%d,\"elapsed_s\":%s,\"certified\":%d,\"degraded\":%d,\"failed\":%d,\"diagnoses\":[%s]}"
+    (solves p) (Faults.fired p.faults)
+    (json_float (elapsed_s p))
+    (List.length (List.filter (fun d -> d.outcome = Certified) js))
+    (List.length (List.filter (fun d -> d.outcome = Degraded) js))
+    (List.length (List.filter (fun d -> d.outcome = Failed) js))
+    (String.concat "," (List.map diagnosis_to_json bad))
+
+(* ------------------------------------------------------------------ *)
+(* The orchestration engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+let conclusive = function
+  | Sdp.Primal_infeasible | Sdp.Dual_infeasible -> true
+  | _ -> false
+
+(* Run one logical solve through the ladder. [attempt_solve] runs the
+   underlying solver with the given parameters and returns the caller's
+   payload plus the raw SDP solution; [certified] is the caller's
+   acceptance check (a posteriori validation, not just solver status);
+   [salvageable] decides whether a non-certified payload is still worth
+   surfacing as Degraded. *)
+let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
+    (base_params : Sdp.params) =
+  ensure_started policy;
+  policy.clock.solve_count <- policy.clock.solve_count + 1;
+  let solve_index = policy.clock.solve_count in
+  let deadline_hit = ref false in
+  let wrap ~attempt (params : Sdp.params) =
+    let fault_hook = Faults.hook policy.faults ~solve_index ~attempt in
+    let solve_start = Sys.time () in
+    let inner = params.Sdp.on_iteration in
+    let hook iter =
+      match (match fault_hook with Some h -> h iter | None -> None) with
+      | Some f -> Some f
+      | None ->
+          let over_solve =
+            match policy.solve_deadline_s with
+            | None -> false
+            | Some d -> Sys.time () -. solve_start >= d
+          in
+          if over_solve || out_of_time policy then begin
+            deadline_hit := true;
+            Some Sdp.Stop_now
+          end
+          else ( match inner with Some h -> h iter | None -> None)
+    in
+    { params with Sdp.on_iteration = Some hook }
+  in
+  let rungs = Baseline :: (if policy.retries_enabled then policy.ladder else []) in
+  let finish ~attempts_rev ~outcome ~accepted_rung payload =
+    let d =
+      {
+        label;
+        solve_index;
+        attempts = List.rev attempts_rev;
+        outcome;
+        accepted_rung;
+        deadline_hit = !deadline_hit;
+      }
+    in
+    (* Probe solves (quiet policies) expect failure as an answer — they
+       neither enter the journal nor warn, so bisection steps don't read
+       as pipeline failures in the report. *)
+    if not policy.quiet then policy.clock.journal_rev <- d :: policy.clock.journal_rev;
+    (match outcome with
+    | Certified ->
+        if List.length d.attempts > 1 then
+          Log.info (fun k ->
+              k "solve #%d %S recovered at rung %s after %d attempt(s)" solve_index label
+                (match accepted_rung with Some r -> rung_name r | None -> "?")
+                (List.length d.attempts))
+    | Degraded ->
+        (if policy.quiet then Log.debug else Log.warn) (fun k ->
+            k "solve #%d %S DEGRADED (rung %s) — acceptance requires exact validation"
+              solve_index label
+              (match accepted_rung with Some r -> rung_name r | None -> "?"))
+    | Failed ->
+        (if policy.quiet then Log.debug else Log.warn) (fun k ->
+            k "solve #%d %S FAILED after %d attempt(s)%s: %a" solve_index label
+              (List.length d.attempts)
+              (match describe with None -> "" | Some f -> Printf.sprintf " (%s)" (f ()))
+              pp_diagnosis d));
+    (payload, d)
+  in
+  let rec go params attempt_idx rungs attempts_rev best last =
+    match rungs with
+    | [] -> (
+        match best with
+        | Some (rung, payload, _) when policy.accept_degraded ->
+            finish ~attempts_rev ~outcome:Degraded ~accepted_rung:(Some rung) payload
+        | _ -> (
+            match last with
+            | Some payload -> finish ~attempts_rev ~outcome:Failed ~accepted_rung:None payload
+            | None -> invalid_arg "Resilient.run_ladder: empty ladder"))
+    | rung :: rest ->
+        let params = apply_rung params rung in
+        let fired_before = Faults.fired policy.faults in
+        let t0 = Sys.time () in
+        let payload, (sdp : Sdp.solution) = attempt_solve (wrap ~attempt:attempt_idx params) in
+        let a =
+          {
+            rung;
+            status = sdp.Sdp.status;
+            iterations = sdp.Sdp.iterations;
+            gap = sdp.Sdp.gap;
+            primal_res = sdp.Sdp.primal_res;
+            dual_res = sdp.Sdp.dual_res;
+            best_score = sdp.Sdp.best_score;
+            faults_fired = Faults.fired policy.faults - fired_before;
+            time_s = Sys.time () -. t0;
+          }
+        in
+        let attempts_rev = a :: attempts_rev in
+        if certified payload then
+          finish ~attempts_rev ~outcome:Certified ~accepted_rung:(Some rung) payload
+        else
+          let best =
+            if salvageable payload then
+              match best with
+              | Some (_, _, sc) when sc <= sdp.Sdp.best_score -> best
+              | _ -> Some (rung, payload, sdp.Sdp.best_score)
+            else best
+          in
+          (* Conclusive infeasibility is an answer, not a numerical
+             accident — retrying with looser tolerances cannot make an
+             infeasible program feasible. Out-of-time likewise stops the
+             ladder: salvage what we have. *)
+          if conclusive sdp.Sdp.status || out_of_time policy then
+            go params (attempt_idx + 1) [] attempts_rev best (Some payload)
+          else go params (attempt_idx + 1) rest attempts_rev best (Some payload)
+  in
+  go base_params 0 rungs [] None None
+
+let solve_sdp policy ~label ?(params = Sdp.default_params) prob =
+  let attempt_solve p =
+    let sol = Sdp.solve ~params:p prob in
+    (sol, sol)
+  in
+  let certified (s : Sdp.solution) = s.Sdp.status = Sdp.Optimal in
+  let salvageable (s : Sdp.solution) =
+    s.Sdp.status = Sdp.Near_optimal || s.Sdp.best_score < 1e-6
+  in
+  let describe () =
+    Printf.sprintf "%d constraints, %d blocks, %d free vars"
+      (Array.length prob.Sdp.constraints)
+      (Array.length prob.Sdp.block_dims)
+      prob.Sdp.n_free
+  in
+  run_ladder policy ~label ~describe ~attempt_solve ~certified ~salvageable params
+
+let solve_sos policy ~label ?(params = Sdp.default_params) ?(psd_tol = 1e-7)
+    ?(eq_tol = 1e-5) ?accept prob =
+  let attempt_solve p =
+    let sol = Sos.solve ~params:p ~psd_tol ~eq_tol prob in
+    (sol, sol.Sos.sdp)
+  in
+  let certified =
+    match accept with Some f -> f | None -> fun (s : Sos.solution) -> s.Sos.certified
+  in
+  (* Salvage either a feasible-but-uncertified solve (Gram slightly
+     indefinite) or a best iterate that got numerically close — both are
+     only accepted downstream if exact validation re-proves them. *)
+  let salvageable (s : Sos.solution) =
+    s.Sos.feasible
+    || (s.Sos.sdp.Sdp.best_score < 1e-3
+       && s.Sos.min_gram_eig >= -.(1e3 *. psd_tol)
+       && s.Sos.max_eq_residual <= 1e3 *. eq_tol)
+  in
+  let describe () =
+    let p = Sos.sdp_problem prob in
+    Printf.sprintf "%d constraints, %d blocks, %d free vars"
+      (Array.length p.Sdp.constraints)
+      (Array.length p.Sdp.block_dims)
+      p.Sdp.n_free
+  in
+  run_ladder policy ~label ~describe ~attempt_solve ~certified ~salvageable params

@@ -1,0 +1,213 @@
+(** Resilient solve orchestration for the SOS/SDP pipeline.
+
+    Every result of the verification pipeline (Theorem-1 certificates,
+    the Lemma-1 level bisection, Algorithm-1 advection, escape and
+    barrier certificates) rests on a chain of interior-point SDP solves,
+    and the from-scratch solver can return [Numerical_failure] or
+    [Max_iterations] on ill-conditioned instances. This module turns a
+    single fragile [Sos.solve] / [Sdp.solve] call into an orchestrated
+    one:
+
+    - a configurable {e retry ladder}: on a non-certified outcome,
+      re-solve with escalating interventions — Jacobi equilibration of
+      the problem data, deterministic jittered restarts, relaxed
+      tolerances, bumped iteration limits (margin/degree adjustment for
+      certificate searches lives in {!Certificates}, which composes with
+      this ladder);
+    - {e per-solve and per-pipeline deadlines} with best-iterate
+      salvage, enforced through the solver's [on_iteration] hook — a
+      stuck solve degrades to its best iterate instead of hanging;
+    - a {e graceful degradation} contract: a non-certified but
+      salvageable solution is surfaced as [Degraded]; callers must gate
+      acceptance on the exact kernel ([Certificates.validate_exactly] /
+      [Exact.Check]) re-proving it;
+    - structured, machine-readable {e diagnoses}: which labelled
+      condition failed, every rung attempted, and per-attempt status /
+      residuals / iteration counts ({!journal}, {!report_json});
+    - a deterministic {e fault-injection harness} ({!Faults}) that
+      forces solver failures at chosen (solve, iteration) sites, so
+      tests can prove each recovery path is actually exercised.
+
+    A {!policy} value doubles as the pipeline context: it carries the
+    (mutable) deadline clock, logical solve counter and diagnosis
+    journal, so one policy threaded through a whole pipeline gives a
+    shared deadline and a single chronological journal. Create a fresh
+    policy per pipeline (or call {!begin_pipeline}); deadlines are CPU
+    seconds ([Sys.time]). *)
+
+(** Deterministic fault injection. A plan is a set of (kind, logical
+    solve index, iteration) triggers; each fires on the {e first}
+    attempt of its target solve only, so the retry ladder can
+    demonstrably recover. *)
+module Faults : sig
+  type kind =
+    | Fail  (** force [Sdp.Numerical_failure] *)
+    | Truncate  (** force an early stop with best-iterate salvage *)
+    | Noise of float  (** inject symmetric Gram noise of this magnitude *)
+
+  type spec = {
+    kind : kind;
+    solve : int;  (** 1-based logical solve index under the policy; 0 = every solve *)
+    iter : int;  (** interior-point iteration at which the fault fires *)
+  }
+
+  type plan
+
+  val none : unit -> plan
+  val of_specs : spec list -> plan
+
+  val of_string : string -> (plan, string) result
+  (** Parse a comma-separated plan: [fail@S:I], [trunc@S:I],
+      [noise@S:I:MAG], with [S] a solve index or [*]. [""] and ["none"]
+      are the empty plan. *)
+
+  val to_string : plan -> string
+  val is_empty : plan -> bool
+
+  val fired : plan -> int
+  (** How many injections have actually fired so far. *)
+end
+
+(** One rung of the retry ladder. Rungs are applied {e cumulatively} in
+    ladder order — each attempt escalates on top of the previous
+    parameter set. *)
+type rung =
+  | Baseline  (** the caller's own parameters (always attempt 0) *)
+  | Equilibrate  (** Jacobi preconditioning of the SDP data *)
+  | Jitter of int  (** deterministic restart [k]: rescaled initial point
+                       and a shorter step fraction *)
+  | Relax_tol of float  (** multiply [tol_gap]/[tol_res] *)
+  | Bump_iters of float  (** multiply [max_iter] *)
+
+val rung_name : rung -> string
+
+val default_ladder : rung list
+(** [Equilibrate; Jitter 1; Relax_tol 10; Bump_iters 3]. *)
+
+val ladder_of_string : string -> (rung list, string) result
+(** ["default"], ["none"], or a comma list of [equilibrate], [jitter:K],
+    [relax:F], [bump:F] (suffixes optional). *)
+
+val ladder_to_string : rung list -> string
+
+(** Everything recorded about one solve attempt. *)
+type attempt = {
+  rung : rung;
+  status : Sdp.status;
+  iterations : int;
+  gap : float;
+  primal_res : float;
+  dual_res : float;
+  best_score : float;
+  faults_fired : int;  (** injections that fired during this attempt *)
+  time_s : float;
+}
+
+type outcome =
+  | Certified  (** an attempt passed the caller's certification check *)
+  | Degraded
+      (** best attempt is salvageable ((near-)feasible with small
+          best-iterate score) but not float-certified — only acceptable
+          if the exact kernel re-proves it *)
+  | Failed
+
+(** The structured failure/recovery record of one logical solve. *)
+type diagnosis = {
+  label : string;  (** which condition this solve certifies *)
+  solve_index : int;  (** 1-based logical solve index under the policy *)
+  attempts : attempt list;  (** chronological: baseline first *)
+  outcome : outcome;
+  accepted_rung : rung option;  (** the rung whose attempt was accepted *)
+  deadline_hit : bool;
+}
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+val diagnosis_to_json : diagnosis -> string
+
+type policy = {
+  ladder : rung list;
+  retries_enabled : bool;
+  accept_degraded : bool;
+      (** surface salvageable-but-uncertified solutions as [Degraded]
+          rather than [Failed]; acceptance must then be gated by exact
+          validation *)
+  quiet : bool;
+      (** probe mode: non-certified outcomes are expected answers — they
+          are not journaled and log at debug level only *)
+  solve_deadline_s : float option;  (** CPU-seconds budget per solve *)
+  pipeline_deadline_s : float option;
+      (** CPU-seconds budget for the whole pipeline sharing this policy *)
+  faults : Faults.plan;
+  clock : clock;  (** mutable pipeline state (journal, counter, clock) *)
+}
+
+and clock
+
+val make :
+  ?ladder:rung list ->
+  ?retries:bool ->
+  ?accept_degraded:bool ->
+  ?solve_deadline_s:float ->
+  ?pipeline_deadline_s:float ->
+  ?faults:Faults.plan ->
+  unit ->
+  policy
+(** Fresh policy (fresh clock/journal). Defaults: {!default_ladder},
+    retries on, degradation on, no deadlines, no faults. *)
+
+val default : unit -> policy
+
+val probe : policy -> policy
+(** The same policy (sharing clock, journal, faults and deadlines) with
+    retries disabled and [quiet] set — for call sites where a solver
+    failure is an expected {e answer} (feasibility probes, bisection
+    steps) rather than an error worth escalating or journaling. *)
+
+val begin_pipeline : policy -> unit
+(** Reset the clock, solve counter, journal and fault counters; start
+    the pipeline deadline now. Implicit on the first solve otherwise. *)
+
+val out_of_time : policy -> bool
+val elapsed_s : policy -> float
+
+val solves : policy -> int
+(** Logical solves run under this policy so far. *)
+
+val journal : policy -> diagnosis list
+(** All diagnoses, chronological. *)
+
+val failures : policy -> diagnosis list
+
+val report_json : policy -> string
+(** Machine-readable pipeline report: solve/fault counters, elapsed
+    time, and the full diagnosis of every failed (and degraded) solve
+    with its attempt history. *)
+
+val solve_sos :
+  policy ->
+  label:string ->
+  ?params:Sdp.params ->
+  ?psd_tol:float ->
+  ?eq_tol:float ->
+  ?accept:(Sos.solution -> bool) ->
+  Sos.t ->
+  Sos.solution * diagnosis
+(** Orchestrated [Sos.solve]: run the baseline attempt and then the
+    ladder until an attempt is accepted — by default when the solution
+    is [certified] (the a posteriori Gram PSD/residual checks pass);
+    [accept] overrides the criterion (e.g. plain feasibility for
+    multiplier re-solves whose soundness is established downstream by
+    the exact kernel). Conclusive infeasibility
+    ([Primal_infeasible]/[Dual_infeasible]) is an answer and is not
+    retried. The returned solution is the accepted attempt's, or the
+    best salvageable one, or the last attempt's; consult the diagnosis
+    (also appended to the policy journal) before trusting it. *)
+
+val solve_sdp :
+  policy ->
+  label:string ->
+  ?params:Sdp.params ->
+  Sdp.problem ->
+  Sdp.solution * diagnosis
+(** Orchestrated [Sdp.solve]; certification = [Optimal] status,
+    salvage = [Near_optimal] or a small best-iterate score. *)

@@ -41,7 +41,15 @@ type solution = {
   primal_res : float;
   dual_res : float;
   iterations : int;
+  best_score : float;
+  trace : (int * float * float * float) list;
+  injected : int;
 }
+
+type fault =
+  | Fail_now
+  | Stop_now
+  | Perturb of float
 
 type params = {
   max_iter : int;
@@ -49,6 +57,9 @@ type params = {
   tol_res : float;
   near_factor : float;
   step_frac : float;
+  init_scale : float;
+  equilibrate : bool;
+  on_iteration : (int -> fault option) option;
   verbose : bool;
 }
 
@@ -59,6 +70,9 @@ let default_params =
     tol_res = 1e-8;
     near_factor = 1e3;
     step_frac = 0.98;
+    init_scale = 1.0;
+    equilibrate = false;
+    on_iteration = None;
     verbose = false;
   }
 
@@ -279,7 +293,17 @@ let max_step ~frac (x : Mat.t) (l : Mat.t) (dx : Mat.t) =
   let lam_min = Mat.min_eig t in
   if lam_min >= 0.0 then 1.0 else Float.min 1.0 (-.frac /. lam_min)
 
-let solve ?(params = default_params) p =
+(* Deterministic pseudo-noise in [-1, 1] for fault injection — a fixed
+   integer hash of the coordinates, so injected perturbations replay
+   identically across runs. *)
+let pseudo_noise iter b i j =
+  let h =
+    (iter * 0x9E3779B1) lxor (b * 0x85EBCA6B) lxor (i * 0xC2B2AE35) lxor (j * 0x27D4EB2F)
+  in
+  let h = h lxor (h lsr 15) in
+  (float_of_int (h land 0xFFFFFF) /. float_of_int 0xFFFFFF *. 2.0) -. 1.0
+
+let solve_core ?(params = default_params) p =
   let it = build_internal p in
   let m = it.m and nb = it.nb and nf = p.n_free in
   let dims = p.block_dims in
@@ -291,12 +315,16 @@ let solve ?(params = default_params) p =
     Array.fold_left (fun a w -> Float.max a (Mat.norm_inf w)) 0.0 c_dense
     |> Float.max (Vec.norm_inf it.c_free)
   in
-  let xi = Float.max 10.0 (2.0 *. norm_b) in
-  let eta = Float.max 10.0 (2.0 *. (norm_c +. 1.0)) in
+  let xi = params.init_scale *. Float.max 10.0 (2.0 *. norm_b) in
+  let eta = params.init_scale *. Float.max 10.0 (2.0 *. (norm_c +. 1.0)) in
   let x = Array.init nb (fun b -> Mat.scale xi (Mat.identity dims.(b))) in
   let s = Array.init nb (fun b -> Mat.scale eta (Mat.identity dims.(b))) in
   let y = Array.make m 0.0 in
   let f = Array.make nf 0.0 in
+  let trace_rev = ref [] in
+  let injected = ref 0 in
+  (* Forward declaration: best_score lives below but [result] reads it. *)
+  let best_score = ref infinity in
   let result status iter =
     (* Rescale multipliers back to the original constraint scaling. *)
     let y_orig = Array.init m (fun i -> y.(i) /. it.scales.(i)) in
@@ -334,13 +362,15 @@ let solve ?(params = default_params) p =
       primal_res = pres;
       dual_res = dres;
       iterations = iter;
+      best_score = !best_score;
+      trace = List.rev !trace_rev;
+      injected = !injected;
     }
   in
   let exception Done of solution in
   (* Best-iterate tracking: interior-point iterations can overshoot the
      numerically attainable accuracy floor and then diverge; we keep the
      best iterate seen and fall back to it. *)
-  let best_score = ref infinity in
   let best_state = ref None in
   let maybe_snapshot score =
     if score < !best_score then begin
@@ -370,6 +400,32 @@ let solve ?(params = default_params) p =
   in
   try
      for iter = 1 to params.max_iter do
+       (* Injected faults and deadline interrupts (resilience layer). *)
+       (match params.on_iteration with
+       | None -> ()
+       | Some hook -> (
+           match hook iter with
+           | None -> ()
+           | Some action -> (
+               incr injected;
+               match action with
+               | Fail_now -> raise (Done (result Numerical_failure iter))
+               | Stop_now -> raise (Done (classify_best iter))
+               | Perturb mag ->
+                   (* Symmetric deterministic noise on the primal iterate;
+                      magnitude is relative to each block's scale. *)
+                   for b = 0 to nb - 1 do
+                     let xb = x.(b) in
+                     let scale = mag *. (1.0 +. Mat.norm_inf xb) in
+                     let d = dims.(b) in
+                     for i = 0 to d - 1 do
+                       for j = i to d - 1 do
+                         let u = scale *. pseudo_noise iter b i j in
+                         Mat.set xb i j (Mat.get xb i j +. u);
+                         if i <> j then Mat.set xb j i (Mat.get xb j i +. u)
+                       done
+                     done
+                   done)));
        (* Factor S blocks; compute S^{-1}. *)
        let s_chol =
          Array.map
@@ -415,6 +471,7 @@ let solve ?(params = default_params) p =
          Log.app (fun k ->
              k "iter %3d  mu %.3e  gap %.3e  pres %.3e  dres %.3e  pobj %.6e" iter mu gap
                pres dres pobj);
+       trace_rev := (iter, gap, pres, dres) :: !trace_rev;
        if gap <= params.tol_gap && pres <= params.tol_res && dres <= params.tol_res then
          raise (Done (result Optimal iter));
        let score = Float.max gap (Float.max pres dres) in
@@ -546,6 +603,59 @@ let solve ?(params = default_params) p =
      (* Iteration limit: return the best iterate seen, suitably classified. *)
      classify_best params.max_iter
   with Done r -> r
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi equilibration: per-block diagonal scaling D chosen from the
+   largest |entry| touching each row across all constraint and objective
+   matrices. The scaled problem has A'_i = D A_i D, C' = D C D; its
+   solution maps back exactly by X = D X' D, S = D^{-1} S' D^{-1} with y
+   and f unchanged, so objective values and primal feasibility are
+   preserved on the original data. Used as a retry-ladder rung for
+   ill-conditioned instances. *)
+
+let equilibration_scales p =
+  let w = Array.map (fun d -> Array.make d 0.0) p.block_dims in
+  let touch (e : block_entry) =
+    let a = Float.abs e.value in
+    let wb = w.(e.blk) in
+    if a > wb.(e.row) then wb.(e.row) <- a;
+    if a > wb.(e.col) then wb.(e.col) <- a
+  in
+  Array.iter (fun c -> List.iter touch c.lhs) p.constraints;
+  List.iter touch p.obj_blocks;
+  Array.map
+    (Array.map (fun v ->
+         if v <= 1e-12 then 1.0 else Float.min 1e4 (Float.max 1e-4 (1.0 /. sqrt v))))
+    w
+
+let equilibrate_problem p d =
+  let scale_entry (e : block_entry) =
+    { e with value = e.value *. d.(e.blk).(e.row) *. d.(e.blk).(e.col) }
+  in
+  {
+    p with
+    constraints =
+      Array.map (fun c -> { c with lhs = List.map scale_entry c.lhs }) p.constraints;
+    obj_blocks = List.map scale_entry p.obj_blocks;
+  }
+
+let unscale_solution d sol =
+  let congruence f b (m : Mat.t) =
+    Mat.init m.Mat.rows m.Mat.rows (fun i j -> f d.(b).(i) *. f d.(b).(j) *. Mat.get m i j)
+  in
+  {
+    sol with
+    x_blocks = Array.mapi (congruence (fun v -> v)) sol.x_blocks;
+    s_blocks = Array.mapi (congruence (fun v -> 1.0 /. v)) sol.s_blocks;
+  }
+
+let solve ?(params = default_params) p =
+  if not params.equilibrate then solve_core ~params p
+  else begin
+    let d = equilibration_scales p in
+    let sol = solve_core ~params (equilibrate_problem p d) in
+    unscale_solution d sol
+  end
 
 let to_sdpa p =
   let buf = Buffer.create 4096 in

@@ -65,8 +65,35 @@ type solution = {
   gap : float;  (** relative duality gap *)
   primal_res : float;  (** relative primal residual norm *)
   dual_res : float;  (** relative dual residual norm *)
-  iterations : int;
+  iterations : int;  (** iterations attempted, on every status including
+                         [Numerical_failure] — retry ladders and failure
+                         diagnoses read it directly *)
+  best_score : float;
+      (** smallest [max(gap, primal_res, dual_res)] over all iterates
+          seen — the quality of the salvageable best iterate
+          ([infinity] when the solve broke before completing one
+          iteration) *)
+  trace : (int * float * float * float) list;
+      (** per-iteration [(iter, gap, primal_res, dual_res)], oldest
+          first — the convergence history survives failures, so
+          diagnostics never have to re-derive residual norms *)
+  injected : int;
+      (** number of [on_iteration] interventions (injected faults or
+          deadline interrupts) that fired during this solve *)
 }
+
+(** Interventions a {!params.on_iteration} callback can request — the
+    hook used both by the fault-injection harness ({!Resilient.Faults})
+    and by deadline enforcement. *)
+type fault =
+  | Fail_now  (** abort as if the search direction computation broke
+                  down: status [Numerical_failure], current residuals
+                  and iteration count reported *)
+  | Stop_now  (** stop as if the iteration limit were reached: the best
+                  iterate seen is salvaged and classified *)
+  | Perturb of float
+      (** add deterministic symmetric pseudo-noise of this relative
+          magnitude to the primal iterate (Gram noise injection) *)
 
 type params = {
   max_iter : int;  (** default 150 *)
@@ -75,6 +102,14 @@ type params = {
   near_factor : float;
       (** [Near_optimal] accepts [near_factor] times looser; default 1e3 *)
   step_frac : float;  (** fraction-to-the-boundary; default 0.98 *)
+  init_scale : float;
+      (** scales the identity starting point — jittered deterministic
+          restarts for the retry ladder; default 1.0 *)
+  equilibrate : bool;
+      (** Jacobi-equilibrate the block rows/columns before solving and
+          map the solution back exactly; default false *)
+  on_iteration : (int -> fault option) option;
+      (** consulted at the top of every iteration; default [None] *)
   verbose : bool;  (** log per-iteration progress; default false *)
 }
 

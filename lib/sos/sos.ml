@@ -353,3 +353,5 @@ let sos_witness p sol b =
     end
   done;
   !out
+
+let sdp_problem p = snd (to_sdp p)

@@ -119,3 +119,10 @@ val sos_witness : t -> solution -> int -> Poly.t list
     [p_i] with [Σ p_i² = zᵀ G z] (via eigen-decomposition of the Gram
     matrix, clipping negative eigenvalues at zero) — a human-checkable
     SOS witness. *)
+
+val sdp_problem : t -> Sdp.problem
+(** The SDP translation of the problem as it stands — the exact problem
+    {!solve} would hand to {!Sdp.solve}. Pure: building it does not
+    mutate [t], so it is safe to call before or between solves (used by
+    the resilience layer to report failure sizes and by external
+    cross-checking via {!Sdp.to_sdpa}). *)

@@ -1,0 +1,80 @@
+(* Fault-injection smoke test — the resilience acceptance scenario.
+
+   With the retry ladder on, the third-order P1 certificate search must
+   survive a Numerical_failure injected into its first SOS solve and the
+   recovered certificate must re-prove in exact arithmetic. With retries
+   disabled, the same fault plan must instead produce a structured
+   failure report that names the failed condition and carries the
+   attempt history. Exits nonzero on any deviation. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("fault_smoke: " ^ m); exit 1) fmt
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let plan s =
+  match Resilient.Faults.of_string s with
+  | Ok p -> p
+  | Error e -> die "bad fault plan %S: %s" s e
+
+let () =
+  let s = Pll.scale Pll.table1_third in
+  (* ---- ladder on: the injected failure must be recovered from ---- *)
+  let faults = plan "fail@1:2" in
+  let pol = Resilient.make ~faults () in
+  let config =
+    {
+      (Certificates.default_config Pll.Third) with
+      Certificates.degree = 4;
+      resilience = pol;
+    }
+  in
+  let cert =
+    match Certificates.find_multi_lyapunov ~config s with
+    | Error e -> die "pipeline did not survive the injected fault: %s" e
+    | Ok c -> c
+  in
+  let fired = Resilient.Faults.fired faults in
+  if fired <> 1 then die "fault fired %d times, expected exactly once" fired;
+  let diag =
+    match
+      List.find_opt
+        (fun d -> d.Resilient.label = "multi-lyapunov")
+        (Resilient.journal pol)
+    with
+    | Some d -> d
+    | None -> die "multi-lyapunov solve not journaled"
+  in
+  (match diag.Resilient.attempts with
+  | first :: _ :: _ when first.Resilient.status = Sdp.Numerical_failure ->
+      Printf.printf "recovered after %d attempts (accepted rung: %s)\n%!"
+        (List.length diag.Resilient.attempts)
+        (match diag.Resilient.accepted_rung with
+        | Some r -> Resilient.rung_name r
+        | None -> "?")
+  | _ -> die "expected a failed baseline attempt followed by a recovery");
+  if diag.Resilient.outcome <> Resilient.Certified then
+    die "recovery did not end certified";
+  (match Certificates.validate_exactly s cert with
+  | Error e -> die "exact validation failed structurally: %s" e
+  | Ok v ->
+      if not v.Certificates.all_proven then
+        die "recovered certificate did not re-prove exactly";
+      print_endline "recovered certificate exactly re-proven");
+  (* ---- retries off: same plan, structured failure instead ---- *)
+  let pol2 = Resilient.make ~retries:false ~faults:(plan "fail@1:2") () in
+  let config2 = { config with Certificates.resilience = pol2 } in
+  (match Certificates.find_multi_lyapunov ~config:config2 s with
+  | Ok _ -> die "expected the un-retried faulted solve to fail"
+  | Error e ->
+      if not (contains e "multi-lyapunov") then
+        die "failure report does not name the condition: %s" e;
+      if not (contains e "numerical_failure") then
+        die "failure report does not carry the attempt status: %s" e);
+  (match Resilient.failures pol2 with
+  | [ d ] when List.length d.Resilient.attempts = 1 -> ()
+  | _ -> die "expected exactly one journaled failure with its attempt history");
+  print_endline "structured failure report verified";
+  print_endline "fault_smoke: OK"

@@ -6,6 +6,7 @@ let () =
       ("interval", Test_interval.suite);
       ("sdp", Test_sdp.suite);
       ("sos", Test_sos.suite);
+      ("resilient", Test_resilient.suite);
       ("hybrid", Test_hybrid.suite);
       ("pll", Test_pll.suite);
       ("certificates", Test_certificates.suite);

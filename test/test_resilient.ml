@@ -1,0 +1,155 @@
+(* Tests of the resilient solve orchestration layer: fault-plan and
+   ladder parsing, ladder recovery from injected failures, structured
+   failure diagnoses when retries are off, deadlines, and probe mode. *)
+
+module Ppoly = Sos.Ppoly
+
+let p1 terms =
+  Poly.of_terms 1 (List.map (fun (es, c) -> (Poly.Monomial.of_exponents es, c)) terms)
+
+(* (x+1)^2: a certainly-SOS target so any failure is injected, not real. *)
+let feasible_prob () =
+  let prob = Sos.create ~nvars:1 in
+  Sos.add_sos prob (Ppoly.of_poly (p1 [ ([ 2 ], 1.0); ([ 1 ], 2.0); ([ 0 ], 1.0) ]));
+  prob
+
+(* x^2 - 1: certainly not SOS, so "not certified" is the right answer. *)
+let infeasible_prob () =
+  let prob = Sos.create ~nvars:1 in
+  Sos.add_sos prob (Ppoly.of_poly (p1 [ ([ 2 ], 1.0); ([ 0 ], -1.0) ]));
+  prob
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let plan s =
+  match Resilient.Faults.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "fault plan %S rejected: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let test_fault_plan_parsing () =
+  Alcotest.(check bool) "empty" true (Resilient.Faults.is_empty (plan ""));
+  Alcotest.(check bool) "none" true (Resilient.Faults.is_empty (plan "none"));
+  Alcotest.(check string) "round trip" "fail@1:2,trunc@*:3,noise@2:1:0.5"
+    (Resilient.Faults.to_string (plan "fail@1:2, trunc@*:3, noise@2:1:0.5"));
+  (match Resilient.Faults.of_string "melt@1:2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown fault kind accepted");
+  match Resilient.Faults.of_string "fail@1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing iteration accepted"
+
+let test_ladder_parsing () =
+  (match Resilient.ladder_of_string "default" with
+  | Ok l -> Alcotest.(check bool) "default ladder" true (l = Resilient.default_ladder)
+  | Error e -> Alcotest.failf "default rejected: %s" e);
+  (match Resilient.ladder_of_string "none" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "none must be the empty ladder"
+  | Error e -> Alcotest.failf "none rejected: %s" e);
+  (match Resilient.ladder_of_string "equilibrate,jitter:2,relax:5,bump:2" with
+  | Ok l ->
+      Alcotest.(check string) "round trip" "equilibrate,jitter:2,relax:5,bump:2"
+        (Resilient.ladder_to_string l)
+  | Error e -> Alcotest.failf "custom ladder rejected: %s" e);
+  match Resilient.ladder_of_string "warp:9" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown rung accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Ladder recovery: a forced Numerical_failure on the baseline attempt
+   must be recovered by a later rung, firing the injection exactly once. *)
+
+let test_ladder_recovers_injected_failure () =
+  let faults = plan "fail@1:1" in
+  let pol = Resilient.make ~faults () in
+  let sol, diag = Resilient.solve_sos pol ~label:"recovery" (feasible_prob ()) in
+  Alcotest.(check bool) "recovered to certified" true sol.Sos.certified;
+  Alcotest.(check bool) "outcome Certified" true (diag.Resilient.outcome = Resilient.Certified);
+  Alcotest.(check bool) "took more than one attempt" true
+    (List.length diag.Resilient.attempts >= 2);
+  (match diag.Resilient.attempts with
+  | first :: _ ->
+      Alcotest.(check bool) "baseline failed as injected" true
+        (first.Resilient.status = Sdp.Numerical_failure);
+      Alcotest.(check int) "fault fired on baseline" 1 first.Resilient.faults_fired
+  | [] -> Alcotest.fail "no attempts recorded");
+  (match diag.Resilient.accepted_rung with
+  | Some r -> Alcotest.(check bool) "accepted above baseline" true (r <> Resilient.Baseline)
+  | None -> Alcotest.fail "no accepted rung");
+  (* First-attempt-only semantics: the retry must not be re-faulted. *)
+  Alcotest.(check int) "injection fired exactly once" 1 (Resilient.Faults.fired faults);
+  (* A certified recovery is not a failure — but it is journaled. *)
+  Alcotest.(check int) "not a failure" 0 (List.length (Resilient.failures pol))
+
+let test_fault_targets_logical_solve () =
+  let faults = plan "fail@2:1" in
+  let pol = Resilient.make ~faults () in
+  let _, d1 = Resilient.solve_sos pol ~label:"first" (feasible_prob ()) in
+  Alcotest.(check int) "solve 1 untouched" 1 (List.length d1.Resilient.attempts);
+  let _, d2 = Resilient.solve_sos pol ~label:"second" (feasible_prob ()) in
+  Alcotest.(check int) "solve index tracked" 2 d2.Resilient.solve_index;
+  Alcotest.(check bool) "solve 2 hit" true (List.length d2.Resilient.attempts >= 2);
+  Alcotest.(check int) "fired once" 1 (Resilient.Faults.fired faults)
+
+(* ------------------------------------------------------------------ *)
+(* Retries disabled: the same fault yields a structured failure report
+   naming the condition and the attempt history. *)
+
+let test_no_retries_structured_failure () =
+  let pol = Resilient.make ~retries:false ~faults:(plan "fail@1:1") () in
+  let _, diag = Resilient.solve_sos pol ~label:"multi-lyapunov" (feasible_prob ()) in
+  Alcotest.(check bool) "failed" true (diag.Resilient.outcome = Resilient.Failed);
+  Alcotest.(check int) "single attempt" 1 (List.length diag.Resilient.attempts);
+  Alcotest.(check int) "journaled as failure" 1 (List.length (Resilient.failures pol));
+  let json = Resilient.diagnosis_to_json diag in
+  Alcotest.(check bool) "names the condition" true (contains json "multi-lyapunov");
+  Alcotest.(check bool) "names the status" true (contains json "numerical_failure");
+  let report = Resilient.report_json pol in
+  Alcotest.(check bool) "report carries the diagnosis" true
+    (contains report "multi-lyapunov")
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines: an exhausted budget truncates the solve and is recorded. *)
+
+let test_solve_deadline () =
+  let pol = Resilient.make ~solve_deadline_s:0.0 () in
+  let _, diag = Resilient.solve_sos pol ~label:"deadline" (feasible_prob ()) in
+  Alcotest.(check bool) "deadline recorded" true diag.Resilient.deadline_hit
+
+let test_pipeline_deadline () =
+  let pol = Resilient.make ~pipeline_deadline_s:0.0 () in
+  Resilient.begin_pipeline pol;
+  Alcotest.(check bool) "out of time" true (Resilient.out_of_time pol)
+
+(* ------------------------------------------------------------------ *)
+(* Probe mode: an expected "no" is neither retried nor journaled. *)
+
+let test_probe_is_quiet () =
+  let pol = Resilient.make () in
+  let probe = Resilient.probe pol in
+  let sol, diag = Resilient.solve_sos probe ~label:"probe" (infeasible_prob ()) in
+  Alcotest.(check bool) "honest no" false sol.Sos.certified;
+  Alcotest.(check int) "no retries" 1 (List.length diag.Resilient.attempts);
+  Alcotest.(check int) "nothing journaled" 0 (List.length (Resilient.journal pol));
+  (* …but the probe still advances the shared logical solve counter. *)
+  Alcotest.(check int) "solve counted" 1 (Resilient.solves pol)
+
+let suite =
+  [
+    Alcotest.test_case "fault plan parsing" `Quick test_fault_plan_parsing;
+    Alcotest.test_case "ladder parsing" `Quick test_ladder_parsing;
+    Alcotest.test_case "ladder recovers injected failure" `Quick
+      test_ladder_recovers_injected_failure;
+    Alcotest.test_case "fault targets logical solve" `Quick test_fault_targets_logical_solve;
+    Alcotest.test_case "no retries: structured failure" `Quick
+      test_no_retries_structured_failure;
+    Alcotest.test_case "solve deadline" `Quick test_solve_deadline;
+    Alcotest.test_case "pipeline deadline" `Quick test_pipeline_deadline;
+    Alcotest.test_case "probe is quiet" `Quick test_probe_is_quiet;
+  ]

@@ -267,9 +267,140 @@ let test_to_sdpa () =
   in
   Alcotest.(check int) "constraint entries" 3 (List.length entry_lines)
 
+(* ------------------------------------------------------------------ *)
+(* Failure-status coverage: every status constructor must be reachable
+   and correctly classified, and the solution record must stay
+   informative (iterations, residuals, trace) on every path — the retry
+   ladder and failure diagnoses depend on it.                          *)
+
+(* A small problem that needs ~10 interior-point iterations: theta(C5). *)
+let theta_c5_problem () =
+  let edges = [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4) ] in
+  let constraints =
+    { Sdp.lhs = List.init 5 (fun i -> entry 0 i i 1.0); free = []; rhs = 1.0 }
+    :: List.map (fun (i, j) -> { Sdp.lhs = [ entry 0 i j 1.0 ]; free = []; rhs = 0.0 }) edges
+  in
+  let all_ones =
+    List.concat (List.init 5 (fun i -> List.init (5 - i) (fun k -> entry 0 i (i + k) (-1.0))))
+  in
+  {
+    Sdp.block_dims = [| 5 |];
+    n_free = 0;
+    constraints = Array.of_list constraints;
+    obj_blocks = all_ones;
+    obj_free = [];
+  }
+
+(* x >= 0 with x = -1: primal infeasibility certificate. *)
+let test_status_primal_infeasible () =
+  let p =
+    {
+      Sdp.block_dims = [| 1 |];
+      n_free = 0;
+      constraints = [| { Sdp.lhs = [ entry 0 0 0 1.0 ]; free = []; rhs = -1.0 } |];
+      obj_blocks = [];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "classified" true (sol.Sdp.status = Sdp.Primal_infeasible);
+  Alcotest.(check bool) "iterations reported" true (sol.Sdp.iterations > 0)
+
+(* min -X00 with only X11 pinned: primal unbounded below, dual infeasible. *)
+let test_status_dual_infeasible () =
+  let p =
+    {
+      Sdp.block_dims = [| 2 |];
+      n_free = 0;
+      constraints = [| { Sdp.lhs = [ entry 0 1 1 1.0 ]; free = []; rhs = 1.0 } |];
+      obj_blocks = [ entry 0 0 0 (-1.0) ];
+      obj_free = [];
+    }
+  in
+  let sol = Sdp.solve p in
+  Alcotest.(check bool) "classified" true (sol.Sdp.status = Sdp.Dual_infeasible)
+
+let test_status_max_iterations () =
+  let params = { Sdp.default_params with Sdp.max_iter = 2 } in
+  let sol = Sdp.solve ~params (theta_c5_problem ()) in
+  Alcotest.(check bool) "classified" true (sol.Sdp.status = Sdp.Max_iterations);
+  Alcotest.(check int) "stopped at the limit" 2 sol.Sdp.iterations;
+  (* The convergence history must survive the failure. *)
+  Alcotest.(check int) "trace recorded" 2 (List.length sol.Sdp.trace)
+
+(* A forced Numerical_failure must still report the attempted iteration
+   count and finite residual norms — diagnostics never re-derive them. *)
+let test_status_numerical_failure () =
+  let hook k = if k = 1 then Some Sdp.Fail_now else None in
+  let params = { Sdp.default_params with Sdp.on_iteration = Some hook } in
+  let sol = Sdp.solve ~params (theta_c5_problem ()) in
+  Alcotest.(check bool) "classified" true (sol.Sdp.status = Sdp.Numerical_failure);
+  Alcotest.(check int) "iterations on failure" 1 sol.Sdp.iterations;
+  Alcotest.(check int) "injection counted" 1 sol.Sdp.injected;
+  Alcotest.(check bool) "finite residuals" true
+    (Float.is_finite sol.Sdp.primal_res && Float.is_finite sol.Sdp.dual_res
+   && Float.is_finite sol.Sdp.gap)
+
+(* Stop_now salvages the best iterate: classified like an iteration-limit
+   stop, not a failure. *)
+let test_fault_truncation () =
+  let hook k = if k = 3 then Some Sdp.Stop_now else None in
+  let params = { Sdp.default_params with Sdp.on_iteration = Some hook } in
+  let sol = Sdp.solve ~params (theta_c5_problem ()) in
+  Alcotest.(check bool) "salvaged, not failed" true
+    (sol.Sdp.status = Sdp.Max_iterations || sol.Sdp.status = Sdp.Near_optimal);
+  Alcotest.(check int) "stopped where injected" 3 sol.Sdp.iterations;
+  Alcotest.(check int) "injection counted" 1 sol.Sdp.injected;
+  Alcotest.(check bool) "best iterate scored" true (Float.is_finite sol.Sdp.best_score)
+
+(* Deterministic Gram noise: the injection is counted, the perturbed run
+   is reproducible, and heavy noise genuinely derails convergence. *)
+let test_fault_noise () =
+  let run () =
+    let hook k = if k = 2 then Some (Sdp.Perturb 0.5) else None in
+    let params = { Sdp.default_params with Sdp.on_iteration = Some hook } in
+    Sdp.solve ~params (theta_c5_problem ())
+  in
+  let sol = run () and sol' = run () in
+  Alcotest.(check int) "injection counted" 1 sol.Sdp.injected;
+  Alcotest.(check bool) "survived past the injection" true (sol.Sdp.iterations >= 2);
+  Alcotest.(check bool) "heavy noise prevents Optimal" true (sol.Sdp.status <> Sdp.Optimal);
+  Alcotest.(check bool) "deterministic replay" true
+    (sol.Sdp.status = sol'.Sdp.status && sol.Sdp.iterations = sol'.Sdp.iterations)
+
+(* Jacobi equilibration: a badly scaled problem (1e6 vs 1e-5 rows) must
+   solve to Optimal and map back to a feasible unscaled solution. *)
+let test_equilibration () =
+  let p =
+    {
+      Sdp.block_dims = [| 2 |];
+      n_free = 0;
+      constraints =
+        [|
+          { Sdp.lhs = [ entry 0 0 0 1e6 ]; free = []; rhs = 1e6 };
+          { Sdp.lhs = [ entry 0 1 1 1e-5 ]; free = []; rhs = 1e-5 };
+        |];
+      obj_blocks = [ entry 0 0 1 (-1.0) ];
+      obj_free = [];
+    }
+  in
+  let params = { Sdp.default_params with Sdp.equilibrate = true } in
+  let sol = Sdp.solve ~params p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  Alcotest.(check bool) "feasible in ORIGINAL scaling" true
+    (Sdp.feasibility_margin p sol < 1e-5);
+  check_float "X01 recovered" 1.0 (Mat.get sol.Sdp.x_blocks.(0) 0 1)
+
 let suite =
   [
     Alcotest.test_case "sdpa export" `Quick test_to_sdpa;
+    Alcotest.test_case "status: primal infeasible" `Quick test_status_primal_infeasible;
+    Alcotest.test_case "status: dual infeasible" `Quick test_status_dual_infeasible;
+    Alcotest.test_case "status: max iterations" `Quick test_status_max_iterations;
+    Alcotest.test_case "status: numerical failure" `Quick test_status_numerical_failure;
+    Alcotest.test_case "fault: truncation salvages" `Quick test_fault_truncation;
+    Alcotest.test_case "fault: deterministic noise" `Quick test_fault_noise;
+    Alcotest.test_case "equilibration" `Quick test_equilibration;
     Alcotest.test_case "lovasz theta of C5" `Quick test_lovasz_theta_c5;
     Alcotest.test_case "random feasible battery" `Quick test_random_feasible_battery;
     Alcotest.test_case "solution PSD" `Quick test_solution_psd;

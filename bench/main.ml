@@ -7,6 +7,9 @@
      dune exec bench/main.exe --fast       -- degree-4 certificates for
                                               the 3rd order (seconds
                                               instead of minutes)
+     dune exec bench/main.exe --json P     -- also write per-artifact
+                                              wall/CPU timings and
+                                              solve/cache counters to P
 
    Artifacts: table1 table2 fig2 fig3 fig4 fig5 ablation-reachset
    ablation-degree ablation-robust ablation-advect extensions kernels.
@@ -24,12 +27,20 @@ let sect title = Format.printf "@.==== %s ====@.@." title
 
 type pipeline = { scaled : Pll.scaled; report : Pll_core.Inevitability.report }
 
+(* With --json, the pipeline runs carry a (non-isolating) supervision
+   context whose content-addressed cache deduplicates identical solve
+   requests across artifacts; its counters feed the JSON report. *)
+let bench_ctx : Supervise.ctx option ref = ref None
+
 let run_pipeline ~label scaled ~degree ~max_advect_iter =
   Format.printf "[running %s pipeline with degree-%d certificates...]@." label degree;
   let cert_config =
     { (Certificates.default_config scaled.Pll.order) with Certificates.degree }
   in
-  match Pll_core.Inevitability.verify ~cert_config ~max_advect_iter scaled with
+  match
+    Pll_core.Inevitability.verify ~cert_config ~max_advect_iter ?supervise:!bench_ctx
+      scaled
+  with
   | Error e -> failwith (Printf.sprintf "%s pipeline failed: %s" label e)
   | Ok report -> { scaled; report }
 
@@ -380,10 +391,81 @@ let kernels () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Per-artifact accounting for --json: wall clock, CPU seconds of this
+   process, interior-point solve count, and the supervision cache
+   counters when a context is active. *)
+type row = {
+  name : string;
+  wall_s : float;
+  cpu_s : float;
+  solves : int;
+  cache_hits : int;
+  cache_stores : int;
+}
+
+let row_to_json r =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"wall_s\":%.3f,\"cpu_s\":%.3f,\"solves\":%d,\"cache_hits\":%d,\"cache_stores\":%d}"
+    r.name r.wall_s r.cpu_s r.solves r.cache_hits r.cache_stores
+
+let instrument rows (name, f) =
+  ( name,
+    fun () ->
+      let hits0, stores0 =
+        match !bench_ctx with
+        | Some ctx ->
+            let s = Supervise.stats ctx in
+            (s.Supervise.cache_hits, s.Supervise.cache_stores)
+        | None -> (0, 0)
+      in
+      let solves0 = Sdp.solve_count () in
+      let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+      f ();
+      let hits1, stores1 =
+        match !bench_ctx with
+        | Some ctx ->
+            let s = Supervise.stats ctx in
+            (s.Supervise.cache_hits, s.Supervise.cache_stores)
+        | None -> (0, 0)
+      in
+      rows :=
+        {
+          name;
+          wall_s = Unix.gettimeofday () -. w0;
+          cpu_s = Sys.time () -. c0;
+          solves = Sdp.solve_count () - solves0;
+          cache_hits = hits1 - hits0;
+          cache_stores = stores1 - stores0;
+        }
+        :: !rows )
+
+let write_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"fast\":%b,\"total_solves\":%d,\"artifacts\":[%s]}\n" !fast_mode
+    (Sdp.solve_count ())
+    (String.concat "," (List.rev_map row_to_json rows));
+  close_out oc;
+  Format.printf "@.[wrote %d artifact timing row(s) to %s]@." (List.length rows) path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   fast_mode := List.mem "--fast" args;
   let args = List.filter (fun a -> a <> "--fast") args in
+  let json_path, args =
+    let rec go acc = function
+      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  (if json_path <> None then
+     let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "pll-bench-%d" (Unix.getpid ()))
+     in
+     bench_ctx := Some (Supervise.create ~run_dir:dir ~isolate:false ()));
   let artifacts =
     [
       ("table1", table1);
@@ -400,7 +482,9 @@ let () =
       ("kernels", kernels);
     ]
   in
-  match args with
+  let rows = ref [] in
+  let artifacts = List.map (instrument rows) artifacts in
+  (match args with
   | [] -> List.iter (fun (_, f) -> f ()) artifacts
   | names ->
       List.iter
@@ -411,4 +495,5 @@ let () =
               Format.printf "unknown artifact %s; available: %s@." name
                 (String.concat " " (List.map fst artifacts));
               exit 1)
-        names
+        names);
+  match json_path with None -> () | Some path -> write_json path !rows

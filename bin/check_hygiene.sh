@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Repo hygiene check: the build tree must stay out of version control.
+# Repo hygiene checks:
 #
-# Asserts that .gitignore carries the `_build/` rule and (when run inside
-# a git work tree) that no _build artifact is actually tracked. Wired
-# into `dune runtest` from test/dune; also runnable standalone:
+#  1. the build tree must stay out of version control — .gitignore must
+#     carry the `_build/` rule and (when run inside a git work tree) no
+#     _build artifact may actually be tracked;
+#  2. every library module must have an interface — each lib/*/<m>.ml
+#     needs a lib/*/<m>.mli, so library surfaces stay documented and
+#     deliberate.
+#
+# Wired into `dune runtest` from test/dune; also runnable standalone:
 #
 #     bin/check_hygiene.sh [GITIGNORE]
 set -eu
@@ -13,6 +18,14 @@ fail() { echo "check_hygiene: $*" >&2; exit 1; }
 gitignore="${1:-"$(cd "$(dirname "$0")/.." && pwd)/.gitignore"}"
 [ -f "$gitignore" ] || fail "no .gitignore at $gitignore"
 grep -qx '_build/' "$gitignore" || fail "_build/ is not ignored by $gitignore"
+
+repo="$(cd "$(dirname "$gitignore")" && pwd)"
+missing=""
+for ml in "$repo"/lib/*/*.ml; do
+  [ -e "$ml" ] || continue
+  [ -f "${ml%.ml}.mli" ] || missing="$missing ${ml#"$repo"/}"
+done
+[ -z "$missing" ] || fail "library modules without an .mli:$missing"
 
 if command -v git >/dev/null 2>&1; then
   root="$(git rev-parse --show-toplevel 2>/dev/null || true)"

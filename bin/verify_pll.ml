@@ -11,7 +11,7 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder deadline
-    fault_plan verbose =
+    fault_plan jobs run_dir resume solve_timeout mem_limit verbose =
   setup_logs verbose;
   let raw, default_degree =
     match order with
@@ -37,21 +37,83 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
     let ( let* ) = Result.bind in
     let* ladder = Resilient.ladder_of_string retry_ladder in
     let* faults = Resilient.Faults.of_string fault_plan in
+    (* Supervision (worker isolation, pool, cache/journal) switches on
+       when any of its knobs is set — or when the fault plan contains
+       process-level faults, which only a supervisor can act on. *)
+    let run_dir =
+      match (resume, run_dir) with
+      | Some d, _ -> Some d
+      | None, d -> d
+    in
+    let supervised =
+      run_dir <> None || jobs <> None || solve_timeout <> None || mem_limit <> None
+      || Resilient.Faults.proc_specs faults <> []
+    in
+    let supervise =
+      if supervised then
+        Some
+          (Supervise.create ?run_dir ?jobs ?solve_timeout_s:solve_timeout
+             ?mem_limit_mb:mem_limit ())
+      else None
+    in
     Ok
-      (Resilient.make ~ladder ~retries:(ladder <> []) ?pipeline_deadline_s:deadline
-         ~faults ())
+      ( Resilient.make ~ladder ~retries:(ladder <> []) ?pipeline_deadline_s:deadline
+          ~faults ?supervise (),
+        supervise )
   with
   | Error e ->
       Format.eprintf "verify_pll: %s@." e;
       2
-  | Ok resilience -> (
+  | Ok (resilience, supervise) -> (
+      (match supervise with
+      | Some ctx ->
+          Supervise.install_signal_handlers ctx;
+          (match Supervise.run_dir ctx with
+          | Some dir ->
+              Format.printf "supervision: %d jobs, run dir %s%s@."
+                (Supervise.jobs ctx) dir
+                (if resume <> None then
+                   Printf.sprintf " (resuming; %d solve(s) on record)"
+                     (Supervise.replayed ctx)
+                 else "")
+          | None -> Format.printf "supervision: %d jobs (no run dir)@." (Supervise.jobs ctx))
+      | None -> ());
+      let finish_reports () =
+        (if Resilient.failures resilience <> [] || verbose then
+           Format.printf "resilience report: %s@." (Resilient.report_json resilience));
+        match supervise with
+        | None -> ()
+        | Some ctx ->
+            let report = Supervise.report_json ctx in
+            let st = Supervise.stats ctx in
+            if verbose || st.Supervise.crashes > 0 || st.Supervise.timeouts > 0
+               || st.Supervise.cache_rejects > 0
+            then Format.printf "supervision report: %s@." report;
+            (match Supervise.run_dir ctx with
+            | Some dir ->
+                let oc = open_out (Filename.concat dir "report.json") in
+                Printf.fprintf oc
+                  "{\"supervise\":%s,\"resilient\":%s}\n" report
+                  (Resilient.report_json resilience);
+                close_out oc
+            | None -> ())
+      in
       match
         Pll_core.Inevitability.verify ~cert_config ~max_advect_iter:advect_iters
           ~resilience s
       with
+      | exception Supervise.Interrupted ->
+          finish_reports ();
+          Format.printf
+            "interrupted — checkpoint saved%s; rerun with --resume to continue@."
+            (match Option.bind supervise Supervise.run_dir with
+            | Some dir -> " in " ^ dir
+            | None -> "")
+          ;
+          130
       | Error e ->
           Format.printf "verification FAILED: %s@." e;
-          Format.printf "resilience report: %s@." (Resilient.report_json resilience);
+          finish_reports ();
           1
   | Ok report ->
       Format.printf "%a@.@." Pll_core.Inevitability.pp_report report;
@@ -67,8 +129,7 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
         end
         else true
       in
-      if Resilient.failures resilience <> [] || verbose then
-        Format.printf "resilience report: %s@." (Resilient.report_json resilience);
+      finish_reports ();
       if ok && sim_ok then begin
         Format.printf "inevitability of phase-locking: VERIFIED@.";
         0
@@ -123,7 +184,7 @@ let retry_ladder =
 
 let deadline =
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC"
-         ~doc:"Pipeline deadline in CPU seconds. When exceeded, in-flight solves salvage \
+         ~doc:"Pipeline deadline in wall-clock seconds. When exceeded, in-flight solves salvage \
                their best iterate, level bisection degrades to the smaller certified β, \
                and advection degrades to escape certificates from the last certified \
                front.")
@@ -134,7 +195,39 @@ let fault_plan =
                $(b,fail@S:I) (numerical failure), $(b,trunc@S:I) (truncate to best \
                iterate), $(b,noise@S:I:MAG) (Gram noise), firing at interior-point \
                iteration I of logical solve S (1-based; $(b,*) = every solve), on its \
-               first attempt only.")
+               first attempt only. Process-level faults $(b,kill@S:I) (worker SIGKILLs \
+               itself), $(b,stall@S:I) (worker wedges until the timeout reaper acts) \
+               and $(b,corrupt-cache@S) (stored cache entry is truncated) enable \
+               supervision and exercise the worker recovery paths.")
+
+let jobs =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Enable process supervision with a pool of N forked solve workers for \
+               independent work items (default: number of cores).")
+
+let run_dir_arg =
+  Arg.(value & opt (some string) None & info [ "run-dir" ] ~docv:"DIR"
+         ~doc:"Enable crash-safe supervision state under DIR: a content-addressed \
+               solve cache, a write-ahead journal and persisted proof artifacts. A \
+               killed run restarts from its checkpoint via $(b,--resume).")
+
+let resume =
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR"
+         ~doc:"Resume a killed or interrupted run from its run directory: solves whose \
+               requests hash to cached results are replayed from the cache instead of \
+               re-solved. Implies $(b,--run-dir) DIR.")
+
+let solve_timeout =
+  Arg.(value & opt (some float) None & info [ "solve-timeout" ] ~docv:"SEC"
+         ~doc:"Wall-clock budget per supervised solve worker; a worker past it is \
+               reaped with SIGKILL and reported as a failed attempt the retry ladder \
+               recovers from. Enables supervision.")
+
+let mem_limit =
+  Arg.(value & opt (some int) None & info [ "mem-limit-mb" ] ~docv:"MB"
+         ~doc:"Address-space rlimit per supervised solve worker, in MiB; a worker \
+               exceeding it dies and is reported as a crashed attempt. Enables \
+               supervision.")
 
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log solver progress.")
 
@@ -144,6 +237,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ order $ degree $ robust $ advect_iters $ validate $ psd_tol $ eq_tol
-      $ retry_ladder $ deadline $ fault_plan $ verbose)
+      $ retry_ladder $ deadline $ fault_plan $ jobs $ run_dir_arg $ resume
+      $ solve_timeout $ mem_limit $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -390,24 +390,35 @@ let contained_in_invariant ?(mult_deg = 2) ?caps (s : Pll.scaled) ai front =
   (* Non-inclusion is the expected answer until the advection converges —
      probe under the certificate's policy (shared clock/faults). *)
   let pol = Resilient.probe ai.Certificates.cert.Certificates.cfg.Certificates.resilience in
-  let ok = ref true in
-  for m = 0 to Pll.n_modes - 1 do
-    if !ok then begin
-      let v = ai.Certificates.cert.Certificates.vs.(m) in
-      let cap = match caps with None -> [] | Some (c : Poly.t array) -> [ c.(m) ] in
-      let prob = Sos.create ~nvars:n in
-      Sos.add_nonneg_on ~mult_deg prob
-        ~domain:((Poly.neg front :: cap) @ Pll.mode_domain s m)
-        (Ppoly.of_poly (Poly.sub (Poly.const n ai.Certificates.beta) v));
-      let sol, _ =
-        Resilient.solve_sos pol
-          ~label:(Printf.sprintf "inclusion:%s" (Pll.mode_name m))
-          ~params prob
-      in
-      if not sol.Sos.certified then ok := false
-    end
-  done;
-  !ok
+  let check m =
+    let v = ai.Certificates.cert.Certificates.vs.(m) in
+    let cap = match caps with None -> [] | Some (c : Poly.t array) -> [ c.(m) ] in
+    let prob = Sos.create ~nvars:n in
+    Sos.add_nonneg_on ~mult_deg prob
+      ~domain:((Poly.neg front :: cap) @ Pll.mode_domain s m)
+      (Ppoly.of_poly (Poly.sub (Poly.const n ai.Certificates.beta) v));
+    let sol, _ =
+      Resilient.solve_sos pol
+        ~label:(Printf.sprintf "inclusion:%s" (Pll.mode_name m))
+        ~params prob
+    in
+    sol.Sos.certified
+  in
+  match Resilient.supervisor pol with
+  | Some ctx when not (Supervise.in_worker ctx) ->
+      (* Per-mode inclusion checks are independent probes: fan them out
+         across the worker pool and require every mode to certify. *)
+      List.for_all
+        (function Ok true -> true | Ok false | Error _ -> false)
+        (Supervise.Pool.map ctx
+           ~f:(fun _ m -> check m)
+           (List.init Pll.n_modes Fun.id))
+  | _ ->
+      let ok = ref true in
+      for m = 0 to Pll.n_modes - 1 do
+        if !ok then if not (check m) then ok := false
+      done;
+      !ok
 
 let validate_step_by_simulation ?(samples = 200) ?(seed = 7) (s : Pll.scaled) pt ~h
     ~old_front front =
@@ -454,7 +465,15 @@ type run_result = {
 
 let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.scaled) ai
     ~init =
-  let t0 = Sys.time () in
+  (* Phase timings: CPU seconds when everything runs in-process, wall
+     clock under a supervisor — forked workers burn CPU the parent's
+     [Sys.time] never sees. *)
+  let now =
+    match Resilient.supervisor config.resilience with
+    | Some _ -> Unix.gettimeofday
+    | None -> Sys.time
+  in
+  let t0 = now () in
   let pt = Pll.nominal s in
   let fronts = ref [] in
   let current = ref init in
@@ -462,9 +481,9 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
   let iters = ref 0 in
   let advect_time = ref 0.0 and inclusion_time = ref 0.0 and escape_time = ref 0.0 in
   let timed acc f =
-    let t = Sys.time () in
+    let t = now () in
     let r = f () in
-    acc := !acc +. (Sys.time () -. t);
+    acc := !acc +. (now () -. t);
     r
   in
   (* Certified cap: the reach tube of X2 stays within {V_q <= vmax}
@@ -545,7 +564,7 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
     (* Residual set per mode: {front <= 0} ∩ cap ∩ {V_q >= β} ∩ D_q. The
        escape certificate shows trajectories must leave it; since V_q
        decreases along flows, they can only leave into X1. *)
-    for m = 0 to Pll.n_modes - 1 do
+    let escape_for m =
       let v = ai.Certificates.cert.Certificates.vs.(m) in
       let n = s.Pll.nvars in
       let cap = match caps with None -> [] | Some c -> [ c.(m) ] in
@@ -569,17 +588,38 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
         in
         try_eps [ 1e-1; 1e-2; 1e-3 ]
       in
-      match timed escape_time fixed_v_escape with
-      | Ok (e, ()) -> escapes := (m, e) :: !escapes
+      match fixed_v_escape () with
+      | Ok (e, ()) -> Some e
       | Error _ -> (
           match
-            timed escape_time (fun () ->
-                Certificates.find_escape ~deg:escape_deg ~policy:config.resilience
-                  ~nvars:n ~flow:(Pll.flow s pt m) ~domain ())
+            Certificates.find_escape ~deg:escape_deg ~policy:config.resilience
+              ~nvars:n ~flow:(Pll.flow s pt m) ~domain ()
           with
-          | Ok (e, _) -> escapes := (m, e) :: !escapes
-          | Error _ -> escapes_ok := false)
-    done
+          | Ok (e, _) -> Some e
+          | Error _ -> None)
+    in
+    match Resilient.supervisor config.resilience with
+    | Some ctx when not (Supervise.in_worker ctx) ->
+        (* Per-mode escape searches are independent and return plain
+           polynomials — fan out across the worker pool. *)
+        let results =
+          timed escape_time (fun () ->
+              Supervise.Pool.map ctx
+                ~f:(fun _ m -> escape_for m)
+                (List.init Pll.n_modes Fun.id))
+        in
+        List.iteri
+          (fun m r ->
+            match r with
+            | Ok (Some e) -> escapes := (m, e) :: !escapes
+            | Ok None | Error _ -> escapes_ok := false)
+          results
+    | _ ->
+        for m = 0 to Pll.n_modes - 1 do
+          match timed escape_time (fun () -> escape_for m) with
+          | Some e -> escapes := (m, e) :: !escapes
+          | None -> escapes_ok := false
+        done
   end;
   {
     fronts = List.rev !fronts;
@@ -590,5 +630,5 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
     advect_time_s = !advect_time;
     inclusion_time_s = !inclusion_time;
     escape_time_s = !escape_time;
-    total_time_s = Sys.time () -. t0;
+    total_time_s = now () -. t0;
   }

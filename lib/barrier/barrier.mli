@@ -31,7 +31,12 @@ type config = {
       (** solve orchestration: the barrier search climbs the retry
           ladder (its failure abandons the safety argument), while the
           reach-cap face checks run as probes (their failure falls back
-          to the barrier search) *)
+          to the barrier search). Process isolation, the solve cache
+          and crash-safe journaling are inherited through this policy —
+          attach a {!Supervise.ctx} with [Resilient.make ~supervise]
+          (or {!Resilient.with_supervisor}) and every barrier solve
+          runs in a supervised worker; no barrier-specific wiring is
+          needed. *)
 }
 
 val default_config : config

@@ -308,20 +308,36 @@ let validate_exactly ?mult_deg ?denom_bits ?(slack = 0.5) (s : Pll.scaled) cert 
       conds := (name, domain, target) :: !conds)
     (Pll.switching_surfaces s);
   let conds = List.rev !conds in
-  let rec run acc = function
-    | [] -> Ok (List.rev acc)
-    | (name, domain, target) :: rest -> (
-        match
-          exact_condition ?mult_deg ?denom_bits ~policy:cert.cfg.resilience
-            ~label:("exact:" ^ name) ~sdp_params:cert.cfg.sdp_params ~nvars:n ~domain
-            target
-        with
-        | Error e -> Error (name ^ ": " ^ e)
-        | Ok (c, v) ->
-            Log.info (fun k -> k "exact check %-22s %s" name (Exact.Check.verdict_to_string v));
-            run ((name, c, v) :: acc) rest)
+  let check (name, domain, target) =
+    match
+      exact_condition ?mult_deg ?denom_bits ~policy:cert.cfg.resilience
+        ~label:("exact:" ^ name) ~sdp_params:cert.cfg.sdp_params ~nvars:n ~domain
+        target
+    with
+    | Error e -> Error (name ^ ": " ^ e)
+    | Ok (c, v) -> Ok (name, c, v)
   in
-  match run [] conds with
+  (* The conditions are independent, and a condition's result — rational
+     certificate plus verdict — is plain data, so with a supervisor the
+     checks fan out across the worker pool. Journal/diagnosis mutations
+     made inside pool workers die with the worker; the certificates are
+     what crosses back. *)
+  let checked =
+    match Resilient.supervisor cert.cfg.resilience with
+    | Some ctx when not (Supervise.in_worker ctx) ->
+        List.map
+          (function Ok r -> r | Error e -> Error ("exact-check worker: " ^ e))
+          (Supervise.Pool.map ctx ~f:(fun _ cond -> check cond) conds)
+    | _ -> List.map check conds
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | Error e :: _ -> Error e
+    | Ok ((name, _, v) as r) :: rest ->
+        Log.info (fun k -> k "exact check %-22s %s" name (Exact.Check.verdict_to_string v));
+        collect (r :: acc) rest
+  in
+  match collect [] checked with
   | Error _ as e -> e
   | Ok results ->
       let artifact =
@@ -334,6 +350,15 @@ let validate_exactly ?mult_deg ?denom_bits ?(slack = 0.5) (s : Pll.scaled) cert 
             ]
           (List.map (fun (name, c, _) -> (name, c)) results)
       in
+      (match Resilient.supervisor cert.cfg.resilience with
+      | Some ctx -> (
+          match
+            Supervise.save_artifact ctx ~name:"exact-validation.artifact"
+              (Exact.Artifact.write artifact)
+          with
+          | Some path -> Log.info (fun k -> k "exact proof artifact persisted to %s" path)
+          | None -> ())
+      | None -> ());
       let verdicts = List.map (fun (name, _, v) -> (name, v)) results in
       let margins =
         List.filter_map

@@ -26,10 +26,19 @@ module Inevitability = struct
     | Pll.Fourth -> [| 0.9; 0.9; 0.9; 0.72 |]
 
   let verify ?cert_config ?adv_config ?max_advect_iter ?init_radii ?resilience
-      (s : Pll.scaled) =
+      ?supervise (s : Pll.scaled) =
     (* One policy across both phases: shared pipeline deadline, one
        chronological journal, and logical solve indices that a fault
-       plan can target deterministically. *)
+       plan can target deterministically. A supervision context rides on
+       the policy (made fresh here when only [supervise] is given), so
+       worker isolation, the solve cache and the run journal cover both
+       phases too. *)
+    let resilience =
+      match (resilience, supervise) with
+      | _, None -> resilience
+      | Some pol, Some ctx -> Some (Resilient.with_supervisor pol (Some ctx))
+      | None, Some ctx -> Some (Resilient.make ~supervise:ctx ())
+    in
     let cert_config, adv_config =
       match resilience with
       | None -> (cert_config, adv_config)

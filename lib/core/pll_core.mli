@@ -39,6 +39,7 @@ module Inevitability : sig
     ?max_advect_iter:int ->
     ?init_radii:float array ->
     ?resilience:Resilient.policy ->
+    ?supervise:Supervise.ctx ->
     Pll.scaled ->
     (report, string) result
   (** Run the two-pronged verification on a scaled CP PLL model.
@@ -48,7 +49,12 @@ module Inevitability : sig
       (overriding whatever the configs carry) and reset via
       {!Resilient.begin_pipeline}: one shared pipeline deadline, one
       failure journal, and deterministic logical solve indices for fault
-      plans. *)
+      plans. [supervise] attaches a supervision context to that policy
+      (a default policy is created when [resilience] is absent): every
+      solve then runs in a forked worker under the context's timeout and
+      memory cap, independent per-mode/per-condition work fans out
+      across its pool, and — with a run directory — completed solves are
+      cached and journaled so a killed run resumes from its checkpoint. *)
 
   val default_init_radii : Pll.scaled -> float array
   (** The default [X2] semi-axes. *)

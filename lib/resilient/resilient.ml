@@ -6,18 +6,47 @@ let src = Logs.Src.create "resilient" ~doc:"Resilient SOS/SDP solve orchestratio
 module Log = (val Logs.src_log src : Logs.LOG)
 
 (* ------------------------------------------------------------------ *)
+(* Time sources                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [Sys.time] is CPU seconds of THIS process: it neither advances while
+   a forked worker burns cycles nor while the process sleeps in
+   [waitpid], and a fork resets the child's CPU clock entirely. Wall
+   clock is therefore the default deadline base; CPU time remains
+   available for single-process benchmarking. The wall source is
+   injectable so deadline tests don't have to actually wait. *)
+
+type time_mode = Cpu_time | Wall_clock
+
+let wall_clock_source = ref Unix.gettimeofday
+
+let set_wall_clock_source = function
+  | Some f -> wall_clock_source := f
+  | None -> wall_clock_source := Unix.gettimeofday
+
+let time_of_mode = function
+  | Cpu_time -> Sys.time ()
+  | Wall_clock -> !wall_clock_source ()
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection                                                    *)
 (* ------------------------------------------------------------------ *)
 
 module Faults = struct
   type kind = Fail | Truncate | Noise of float
   type spec = { kind : kind; solve : int; iter : int }
-  type plan = { specs : spec list; mutable fired : int }
 
-  let none () = { specs = []; fired = 0 }
-  let of_specs specs = { specs; fired = 0 }
-  let is_empty p = p.specs = []
+  type plan = {
+    specs : spec list;
+    procs : Supervise.Fault.spec list;
+    mutable fired : int;
+  }
+
+  let none () = { specs = []; procs = []; fired = 0 }
+  let of_specs ?(procs = []) specs = { specs; procs; fired = 0 }
+  let is_empty p = p.specs = [] && p.procs = []
   let fired p = p.fired
+  let proc_specs p = p.procs
 
   let spec_to_string s =
     let site = if s.solve = 0 then "*" else string_of_int s.solve in
@@ -26,10 +55,13 @@ module Faults = struct
     | Truncate -> Printf.sprintf "trunc@%s:%d" site s.iter
     | Noise m -> Printf.sprintf "noise@%s:%d:%g" site s.iter m
 
-  let to_string p = String.concat "," (List.map spec_to_string p.specs)
+  let to_string p =
+    String.concat ","
+      (List.map spec_to_string p.specs
+      @ List.map Supervise.Fault.to_string p.procs)
 
   let parse_spec tok =
-    let fail () = Error (Printf.sprintf "bad fault spec %S (want fail@S:I, trunc@S:I or noise@S:I:MAG)" tok) in
+    let fail () = Error (Printf.sprintf "bad fault spec %S (want fail@S:I, trunc@S:I, noise@S:I:MAG, kill@S:I, stall@S:I or corrupt-cache@S)" tok) in
     match String.index_opt tok '@' with
     | None -> fail ()
     | Some at -> (
@@ -52,16 +84,26 @@ module Faults = struct
             | _ -> fail ())
         | _ -> fail ())
 
+  (* Process-level kinds (kill/stall/corrupt-cache) live in Supervise so
+     that library stays independent of this one; here their specs parse
+     out of the same plan string into the separate [procs] list. *)
   let of_string str =
     let str = String.trim str in
     if str = "" || str = "none" then Ok (none ())
     else
       let toks = List.map String.trim (String.split_on_char ',' str) in
-      let rec go acc = function
-        | [] -> Ok (of_specs (List.rev acc))
-        | t :: rest -> ( match parse_spec t with Ok s -> go (s :: acc) rest | Error e -> Error e)
+      let rec go specs procs = function
+        | [] -> Ok { specs = List.rev specs; procs = List.rev procs; fired = 0 }
+        | t :: rest -> (
+            match Supervise.Fault.parse t with
+            | Some (Ok p) -> go specs (p :: procs) rest
+            | Some (Error e) -> Error e
+            | None -> (
+                match parse_spec t with
+                | Ok s -> go (s :: specs) procs rest
+                | Error e -> Error e))
       in
-      go [] toks
+      go [] [] toks
 
   (* Faults fire only on the first attempt of their target solve, so the
      retry ladder gets a clean re-solve to recover with. *)
@@ -190,7 +232,9 @@ type policy = {
   quiet : bool;
   solve_deadline_s : float option;
   pipeline_deadline_s : float option;
+  clock_mode : time_mode;
   faults : Faults.plan;
+  supervise : Supervise.ctx option;
   clock : clock;
 }
 
@@ -203,7 +247,8 @@ and clock = {
 let fresh_clock () = { started = None; solve_count = 0; journal_rev = [] }
 
 let make ?(ladder = default_ladder) ?(retries = true) ?(accept_degraded = true)
-    ?solve_deadline_s ?pipeline_deadline_s ?(faults = Faults.none ()) () =
+    ?solve_deadline_s ?pipeline_deadline_s ?(clock_mode = Wall_clock)
+    ?(faults = Faults.none ()) ?supervise () =
   {
     ladder;
     retries_enabled = retries;
@@ -211,24 +256,28 @@ let make ?(ladder = default_ladder) ?(retries = true) ?(accept_degraded = true)
     quiet = false;
     solve_deadline_s;
     pipeline_deadline_s;
+    clock_mode;
     faults;
+    supervise;
     clock = fresh_clock ();
   }
 
 let default () = make ()
 let probe p = { p with retries_enabled = false; quiet = true }
+let supervisor p = p.supervise
+let with_supervisor p supervise = { p with supervise }
+let now p = time_of_mode p.clock_mode
 
 let begin_pipeline p =
-  p.clock.started <- Some (Sys.time ());
+  p.clock.started <- Some (now p);
   p.clock.solve_count <- 0;
   p.clock.journal_rev <- [];
   Faults.reset p.faults
 
-let ensure_started p =
-  if p.clock.started = None then p.clock.started <- Some (Sys.time ())
+let ensure_started p = if p.clock.started = None then p.clock.started <- Some (now p)
 
 let elapsed_s p =
-  match p.clock.started with None -> 0.0 | Some t0 -> Sys.time () -. t0
+  match p.clock.started with None -> 0.0 | Some t0 -> now p -. t0
 
 let out_of_time p =
   match p.pipeline_deadline_s with
@@ -343,7 +392,11 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
   let deadline_hit = ref false in
   let wrap ~attempt (params : Sdp.params) =
     let fault_hook = Faults.hook policy.faults ~solve_index ~attempt in
-    let solve_start = Sys.time () in
+    (* The solve's own start time is captured lazily at the hook's first
+       firing, not at wrap time: under supervision this closure crosses
+       a fork, and the child's CPU clock restarts at zero — a pre-fork
+       [Cpu_time] stamp would push the deadline out of reach. *)
+    let solve_start = ref None in
     let inner = params.Sdp.on_iteration in
     let hook iter =
       match (match fault_hook with Some h -> h iter | None -> None) with
@@ -352,7 +405,16 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
           let over_solve =
             match policy.solve_deadline_s with
             | None -> false
-            | Some d -> Sys.time () -. solve_start >= d
+            | Some d ->
+                let t = now policy in
+                let t0 =
+                  match !solve_start with
+                  | Some t0 -> t0
+                  | None ->
+                      solve_start := Some t;
+                      t
+                in
+                t -. t0 >= d
           in
           if over_solve || out_of_time policy then begin
             deadline_hit := true;
@@ -411,8 +473,10 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
     | rung :: rest ->
         let params = apply_rung params rung in
         let fired_before = Faults.fired policy.faults in
-        let t0 = Sys.time () in
-        let payload, (sdp : Sdp.solution) = attempt_solve (wrap ~attempt:attempt_idx params) in
+        let t0 = now policy in
+        let payload, (sdp : Sdp.solution) =
+          attempt_solve ~attempt:attempt_idx (wrap ~attempt:attempt_idx params)
+        in
         let a =
           {
             rung;
@@ -423,7 +487,7 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
             dual_res = sdp.Sdp.dual_res;
             best_score = sdp.Sdp.best_score;
             faults_fired = Faults.fired policy.faults - fired_before;
-            time_s = Sys.time () -. t0;
+            time_s = now policy -. t0;
           }
         in
         let attempts_rev = a :: attempts_rev in
@@ -447,9 +511,32 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
   in
   go base_params 0 rungs [] None None
 
+(* The supervised inner solver for one ladder attempt, or [None] without
+   a supervisor. Process-level faults (kill/stall/corrupt-cache) target
+   the first attempt of their logical solve only, mirroring the
+   in-process fault contract, so the retry ladder demonstrably
+   recovers. The current logical solve index is read off the policy
+   clock — [run_ladder] has already counted this solve when an attempt
+   runs. *)
+let supervised_solver policy ~label ~attempt =
+  match policy.supervise with
+  | None -> None
+  | Some ctx ->
+      let proc_fault =
+        if attempt = 0 then
+          Supervise.Fault.for_solve (Faults.proc_specs policy.faults)
+            policy.clock.solve_count
+        else None
+      in
+      Some (fun ?params prob -> Supervise.solve_sdp ctx ~label ?proc_fault ?params prob)
+
 let solve_sdp policy ~label ?(params = Sdp.default_params) prob =
-  let attempt_solve p =
-    let sol = Sdp.solve ~params:p prob in
+  let attempt_solve ~attempt p =
+    let sol =
+      match supervised_solver policy ~label ~attempt with
+      | Some solve -> solve ~params:p prob
+      | None -> Sdp.solve ~params:p prob
+    in
     (sol, sol)
   in
   let certified (s : Sdp.solution) = s.Sdp.status = Sdp.Optimal in
@@ -466,8 +553,9 @@ let solve_sdp policy ~label ?(params = Sdp.default_params) prob =
 
 let solve_sos policy ~label ?(params = Sdp.default_params) ?(psd_tol = 1e-7)
     ?(eq_tol = 1e-5) ?accept prob =
-  let attempt_solve p =
-    let sol = Sos.solve ~params:p ~psd_tol ~eq_tol prob in
+  let attempt_solve ~attempt p =
+    let solver = supervised_solver policy ~label ~attempt in
+    let sol = Sos.solve ?solver ~params:p ~psd_tol ~eq_tol prob in
     (sol, sol.Sos.sdp)
   in
   let certified =

@@ -32,13 +32,39 @@
     (mutable) deadline clock, logical solve counter and diagnosis
     journal, so one policy threaded through a whole pipeline gives a
     shared deadline and a single chronological journal. Create a fresh
-    policy per pipeline (or call {!begin_pipeline}); deadlines are CPU
-    seconds ([Sys.time]). *)
+    policy per pipeline (or call {!begin_pipeline}). Deadlines are
+    monotonic wall-clock seconds by default ({!Wall_clock}); the
+    {!Cpu_time} mode ([Sys.time]) remains available, but note that CPU
+    time neither advances while a supervised worker process solves nor
+    survives a fork — under {!Supervise} isolation, wall clock is the
+    only base that measures the pipeline truthfully.
+
+    With a {!Supervise.ctx} attached ([make ~supervise]), every ladder
+    attempt's interior-point solve runs in a forked worker under the
+    supervisor's wall-clock timeout and memory cap, consults the
+    content-addressed solve cache, and is journaled for [--resume];
+    worker crashes and timeouts come back as [Numerical_failure] /
+    [Max_iterations] attempts that the ladder escalates exactly like
+    in-process failures. *)
+
+(** The deadline time base. *)
+type time_mode =
+  | Cpu_time  (** [Sys.time]: CPU seconds of this process only *)
+  | Wall_clock  (** [Unix.gettimeofday]-based; the default — the only
+                    base that keeps measuring across forked workers *)
+
+val set_wall_clock_source : (unit -> float) option -> unit
+(** Replace (or with [None] restore) the wall-clock source — a test
+    hook, so deadline behaviour is checkable without waiting. Global;
+    affects every policy in {!Wall_clock} mode. *)
 
 (** Deterministic fault injection. A plan is a set of (kind, logical
     solve index, iteration) triggers; each fires on the {e first}
     attempt of its target solve only, so the retry ladder can
-    demonstrably recover. *)
+    demonstrably recover. Process-level kinds ([kill@S:I], [stall@S:I],
+    [corrupt-cache@S] — see {!Supervise.Fault}) parse out of the same
+    plan string and fire through the supervisor, under the same
+    first-attempt-only contract. *)
 module Faults : sig
   type kind =
     | Fail  (** force [Sdp.Numerical_failure] *)
@@ -54,18 +80,25 @@ module Faults : sig
   type plan
 
   val none : unit -> plan
-  val of_specs : spec list -> plan
+  val of_specs : ?procs:Supervise.Fault.spec list -> spec list -> plan
 
   val of_string : string -> (plan, string) result
   (** Parse a comma-separated plan: [fail@S:I], [trunc@S:I],
-      [noise@S:I:MAG], with [S] a solve index or [*]. [""] and ["none"]
-      are the empty plan. *)
+      [noise@S:I:MAG], plus the process-level [kill@S:I], [stall@S:I],
+      [corrupt-cache@S], with [S] a solve index or [*]. [""] and
+      ["none"] are the empty plan. *)
 
   val to_string : plan -> string
   val is_empty : plan -> bool
 
+  val proc_specs : plan -> Supervise.Fault.spec list
+  (** The process-level triggers of the plan (effective only when the
+      policy carries a supervisor). *)
+
   val fired : plan -> int
-  (** How many injections have actually fired so far. *)
+  (** How many {e in-process} injections have actually fired so far.
+      Process-level faults act on the worker, whose memory is discarded,
+      and are counted by {!Supervise.stats} instead. *)
 end
 
 (** One rung of the retry ladder. Rungs are applied {e cumulatively} in
@@ -134,10 +167,14 @@ type policy = {
   quiet : bool;
       (** probe mode: non-certified outcomes are expected answers — they
           are not journaled and log at debug level only *)
-  solve_deadline_s : float option;  (** CPU-seconds budget per solve *)
+  solve_deadline_s : float option;  (** per-solve budget, in {!clock_mode} seconds *)
   pipeline_deadline_s : float option;
-      (** CPU-seconds budget for the whole pipeline sharing this policy *)
+      (** budget for the whole pipeline sharing this policy *)
+  clock_mode : time_mode;  (** deadline time base; default {!Wall_clock} *)
   faults : Faults.plan;
+  supervise : Supervise.ctx option;
+      (** when present, ladder attempts solve in forked workers through
+          {!Supervise.solve_sdp} (timeout, memory cap, cache, journal) *)
   clock : clock;  (** mutable pipeline state (journal, counter, clock) *)
 }
 
@@ -149,19 +186,30 @@ val make :
   ?accept_degraded:bool ->
   ?solve_deadline_s:float ->
   ?pipeline_deadline_s:float ->
+  ?clock_mode:time_mode ->
   ?faults:Faults.plan ->
+  ?supervise:Supervise.ctx ->
   unit ->
   policy
 (** Fresh policy (fresh clock/journal). Defaults: {!default_ladder},
-    retries on, degradation on, no deadlines, no faults. *)
+    retries on, degradation on, no deadlines, wall-clock deadline base,
+    no faults, no supervisor. *)
 
 val default : unit -> policy
 
 val probe : policy -> policy
-(** The same policy (sharing clock, journal, faults and deadlines) with
-    retries disabled and [quiet] set — for call sites where a solver
-    failure is an expected {e answer} (feasibility probes, bisection
-    steps) rather than an error worth escalating or journaling. *)
+(** The same policy (sharing clock, journal, faults, deadlines and
+    supervisor) with retries disabled and [quiet] set — for call sites
+    where a solver failure is an expected {e answer} (feasibility
+    probes, bisection steps) rather than an error worth escalating or
+    journaling. *)
+
+val supervisor : policy -> Supervise.ctx option
+
+val with_supervisor : policy -> Supervise.ctx option -> policy
+(** The same policy (sharing clock, journal and faults) with the
+    supervisor replaced — e.g. dropped, for solves whose solutions feed
+    closures that must not cross a process boundary. *)
 
 val begin_pipeline : policy -> unit
 (** Reset the clock, solve counter, journal and fault counters; start

@@ -649,13 +649,58 @@ let unscale_solution d sol =
     s_blocks = Array.mapi (congruence (fun v -> 1.0 /. v)) sol.s_blocks;
   }
 
+(* Process-wide count of interior-point solves, for cheap throughput
+   accounting (bench --json, supervision reports). *)
+let solves_total = ref 0
+
+let solve_count () = !solves_total
+
 let solve ?(params = default_params) p =
+  incr solves_total;
   if not params.equilibrate then solve_core ~params p
   else begin
     let d = equilibration_scales p in
     let sol = solve_core ~params (equilibrate_problem p d) in
     unscale_solution d sol
   end
+
+(* Canonical, byte-deterministic serialization of (problem, solve-relevant
+   params) — the content-addressed identity of a solve request. Floats are
+   printed in hexadecimal notation (%h), which round-trips exactly, so two
+   requests share a fingerprint iff the solver would see bit-identical
+   inputs. [on_iteration] and [verbose] are deliberately excluded: hooks
+   (deadlines, fault injection) and logging do not change what a clean,
+   uninterrupted solve returns. *)
+let canonical_serialization ?(params = default_params) p =
+  let buf = Buffer.create 4096 in
+  let adds = Buffer.add_string buf in
+  adds "pll-sdp-problem v1\nblocks";
+  Array.iter (fun d -> adds (Printf.sprintf " %d" d)) p.block_dims;
+  adds (Printf.sprintf "\nfree %d\n" p.n_free);
+  let add_entries tag entries =
+    adds tag;
+    List.iter
+      (fun e -> adds (Printf.sprintf " %d:%d:%d:%h" e.blk e.row e.col e.value))
+      entries;
+    Buffer.add_char buf '\n'
+  in
+  Array.iter
+    (fun c ->
+      add_entries "A" c.lhs;
+      adds "B";
+      List.iter (fun (k, v) -> adds (Printf.sprintf " %d:%h" k v)) c.free;
+      adds (Printf.sprintf "\nb %h\n" c.rhs))
+    p.constraints;
+  add_entries "C" p.obj_blocks;
+  adds "cf";
+  List.iter (fun (k, v) -> adds (Printf.sprintf " %d:%h" k v)) p.obj_free;
+  adds
+    (Printf.sprintf "\nparams %d %h %h %h %h %h %b\n" params.max_iter params.tol_gap
+       params.tol_res params.near_factor params.step_frac params.init_scale
+       params.equilibrate);
+  Buffer.contents buf
+
+let fingerprint ?params p = Digest.to_hex (Digest.string (canonical_serialization ?params p))
 
 let to_sdpa p =
   let buf = Buffer.create 4096 in

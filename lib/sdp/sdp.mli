@@ -120,6 +120,24 @@ val solve : ?params:params -> problem -> solution
     [solution.status]. Raises [Invalid_argument] on malformed input
     (out-of-range indices, [row > col]). *)
 
+val canonical_serialization : ?params:params -> problem -> string
+(** Canonical, byte-deterministic text form of a solve request: the
+    problem data plus every result-relevant solver parameter ([max_iter],
+    tolerances, [near_factor], [step_frac], [init_scale], [equilibrate]),
+    with floats in exact hexadecimal notation. [on_iteration] and
+    [verbose] are excluded — they do not affect what a clean solve
+    returns. Two requests serialize identically iff the solver sees
+    bit-identical inputs, which makes this the cache key of the
+    {!Supervise} content-addressed solve cache. *)
+
+val fingerprint : ?params:params -> problem -> string
+(** Hex digest of {!canonical_serialization} — the content address of a
+    solve request. *)
+
+val solve_count : unit -> int
+(** Process-wide number of {!solve} calls so far (cheap throughput
+    accounting for benchmarks and supervision reports). *)
+
 val to_sdpa : problem -> string
 (** Serialize the problem in the sparse SDPA format (.dat-s), the lingua
     franca of SDP solvers (CSDP/SDPA/SDPT3) — handy for cross-checking

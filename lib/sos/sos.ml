@@ -279,7 +279,7 @@ let to_sdp p =
       obj_free;
     } )
 
-let solve ?params ?(psd_tol = 1e-7) ?(eq_tol = 1e-5) p =
+let solve ?solver ?params ?(psd_tol = 1e-7) ?(eq_tol = 1e-5) p =
   (* Inconsistent constant equalities make the problem trivially infeasible. *)
   let trivially_infeasible =
     List.exists
@@ -293,7 +293,11 @@ let solve ?params ?(psd_tol = 1e-7) ?(eq_tol = 1e-5) p =
         (String.concat ","
            (Array.to_list (Array.map string_of_int sdp_prob.Sdp.block_dims)))
         p.n_free);
-  let sdp = Sdp.solve ?params sdp_prob in
+  let sdp =
+    match solver with
+    | Some solve -> solve ?params sdp_prob
+    | None -> Sdp.solve ?params sdp_prob
+  in
   let assign = function
     | Dvar.Free k -> sdp.Sdp.f.(k)
     | Dvar.Gram (b, i, j) -> Mat.get sdp.Sdp.x_blocks.(b) i j

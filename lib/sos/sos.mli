@@ -97,10 +97,19 @@ type solution = {
   max_eq_residual : float;  (** worst equality-constraint violation *)
 }
 
-val solve : ?params:Sdp.params -> ?psd_tol:float -> ?eq_tol:float -> t -> solution
+val solve :
+  ?solver:(?params:Sdp.params -> Sdp.problem -> Sdp.solution) ->
+  ?params:Sdp.params ->
+  ?psd_tol:float ->
+  ?eq_tol:float ->
+  t ->
+  solution
 (** Translate to an SDP, solve, and validate. [psd_tol] (default 1e-7)
     and [eq_tol] (default 1e-5, relative to constraint scale) control the a posteriori certificate
-    check reflected in [certified]. *)
+    check reflected in [certified]. [solver] replaces the inner [Sdp.solve]
+    call — the injection point through which {!Supervise} runs the numeric
+    solve in an isolated worker process; the SOS-level reconstruction and
+    certificate check still run in the caller. Defaults to [Sdp.solve]. *)
 
 val value : solution -> Ppoly.t -> Poly.t
 (** Instantiate a parametric polynomial under the solution. *)

@@ -1,0 +1,30 @@
+/* Address-space rlimit for solve workers. Called in the child between
+   fork and the solve, so a runaway interior-point solve hits the cap
+   and dies (malloc failure -> Out_of_memory or abort) instead of
+   dragging the whole machine into swap. Best effort: returns 0 on
+   success, nonzero when the platform refuses the limit. */
+
+#include <caml/mlvalues.h>
+
+#ifdef _WIN32
+
+CAMLprim value pll_supervise_set_mem_limit_mb(value mb)
+{
+  (void)mb;
+  return Val_int(1);
+}
+
+#else
+
+#include <sys/resource.h>
+
+CAMLprim value pll_supervise_set_mem_limit_mb(value mb)
+{
+  struct rlimit rl;
+  rlim_t bytes = (rlim_t)Long_val(mb) * 1024 * 1024;
+  rl.rlim_cur = bytes;
+  rl.rlim_max = bytes;
+  return Val_int(setrlimit(RLIMIT_AS, &rl) == 0 ? 0 : 1);
+}
+
+#endif

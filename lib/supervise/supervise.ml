@@ -1,0 +1,724 @@
+(* Process-isolated solve supervision: forked workers with wall-clock
+   timeouts and rlimit caps, a content-addressed solve cache with atomic
+   writes, and a write-ahead journal for crash-safe resume. *)
+
+let src = Logs.Src.create "supervise" ~doc:"Process-isolated solve supervision"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+external set_mem_limit_mb : int -> int = "pll_supervise_set_mem_limit_mb"
+
+(* ------------------------------------------------------------------ *)
+(* Small filesystem helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+(* Atomic durable write: temp file in the same directory, fsync, rename
+   into place, fsync the directory. A crash at any point leaves either
+   no entry or the complete one. *)
+let write_atomic path content =
+  let dir = Filename.dirname path in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let b = Bytes.of_string content in
+      let n = Bytes.length b in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write fd b !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Process-level fault specs                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = struct
+  type kind = Kill | Stall | Corrupt_cache
+  type spec = { kind : kind; solve : int; iter : int }
+
+  let to_string s =
+    let site = if s.solve = 0 then "*" else string_of_int s.solve in
+    match s.kind with
+    | Kill -> Printf.sprintf "kill@%s:%d" site s.iter
+    | Stall -> Printf.sprintf "stall@%s:%d" site s.iter
+    | Corrupt_cache -> Printf.sprintf "corrupt-cache@%s" site
+
+  let parse tok =
+    match String.index_opt tok '@' with
+    | None -> None
+    | Some at -> (
+        let kind_s = String.sub tok 0 at in
+        let rest = String.sub tok (at + 1) (String.length tok - at - 1) in
+        let parts = String.split_on_char ':' rest in
+        let solve_of s = if s = "*" then Some 0 else int_of_string_opt s in
+        let bad () =
+          Some
+            (Error
+               (Printf.sprintf
+                  "bad process-fault spec %S (want kill@S:I, stall@S:I or corrupt-cache@S)"
+                  tok))
+        in
+        match (kind_s, parts) with
+        | "kill", [ s; i ] -> (
+            match (solve_of s, int_of_string_opt i) with
+            | Some solve, Some iter -> Some (Ok { kind = Kill; solve; iter })
+            | _ -> bad ())
+        | "stall", [ s; i ] -> (
+            match (solve_of s, int_of_string_opt i) with
+            | Some solve, Some iter -> Some (Ok { kind = Stall; solve; iter })
+            | _ -> bad ())
+        | "corrupt-cache", [ s ] | "corrupt-cache", [ s; _ ] -> (
+            match solve_of s with
+            | Some solve -> Some (Ok { kind = Corrupt_cache; solve; iter = 0 })
+            | None -> bad ())
+        | ("kill" | "stall" | "corrupt-cache"), _ -> bad ()
+        | _ -> None)
+
+  let for_solve specs idx =
+    List.find_opt (fun s -> s.solve = 0 || s.solve = idx) specs
+end
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed solve cache                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type t = { dir : string }
+
+  type entry_error =
+    | Missing
+    | Bad_header of string
+    | Truncated of { expected : int; got : int }
+    | Digest_mismatch
+    | Decode_failure of string
+    | Io_error of string
+
+  let error_to_string = function
+    | Missing -> "missing"
+    | Bad_header h -> Printf.sprintf "bad header %S" h
+    | Truncated { expected; got } ->
+        Printf.sprintf "truncated (expected %d payload bytes, found %d)" expected got
+    | Digest_mismatch -> "payload digest mismatch"
+    | Decode_failure m -> Printf.sprintf "payload does not decode: %s" m
+    | Io_error m -> Printf.sprintf "io error: %s" m
+
+  let magic = "pll-solve-cache v1"
+
+  let create ~dir =
+    mkdir_p dir;
+    { dir }
+
+  let dir t = t.dir
+  let path t ~key = Filename.concat t.dir (key ^ ".solve")
+
+  let store t ~key (sol : Sdp.solution) =
+    let payload = Marshal.to_string sol [] in
+    let header =
+      Printf.sprintf "%s %d %s\n" magic (String.length payload)
+        (Digest.to_hex (Digest.string payload))
+    in
+    match write_atomic (path t ~key) (header ^ payload) with
+    | () -> Ok ()
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+        Error (Printf.sprintf "cannot write cache entry %s" key)
+
+  let load t ~key =
+    let file = path t ~key in
+    if not (Sys.file_exists file) then Error Missing
+    else
+      match read_file file with
+      | exception Sys_error m -> Error (Io_error m)
+      | content -> (
+          match String.index_opt content '\n' with
+          | None -> Error (Bad_header content)
+          | Some nl -> (
+              let header = String.sub content 0 nl in
+              match String.split_on_char ' ' header with
+              | [ m1; m2; len_s; digest ] when m1 ^ " " ^ m2 = magic -> (
+                  match int_of_string_opt len_s with
+                  | None -> Error (Bad_header header)
+                  | Some expected ->
+                      let got = String.length content - nl - 1 in
+                      if got <> expected then Error (Truncated { expected; got })
+                      else
+                        let payload = String.sub content (nl + 1) expected in
+                        if Digest.to_hex (Digest.string payload) <> digest then
+                          Error Digest_mismatch
+                        else begin
+                          match (Marshal.from_string payload 0 : Sdp.solution) with
+                          | sol -> Ok sol
+                          | exception (Failure m | Invalid_argument m) ->
+                              Error (Decode_failure m)
+                        end)
+              | _ -> Error (Bad_header header)))
+
+  let corrupt t ~key =
+    let file = path t ~key in
+    match read_file file with
+    | exception Sys_error _ -> false
+    | content ->
+        let keep = String.length content / 2 in
+        let oc = open_out_bin file in
+        output_string oc (String.sub content 0 keep);
+        close_out oc;
+        true
+end
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead journal                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = struct
+  type entry = {
+    seq : int;
+    key : string;
+    source : string;
+    status : string;
+    wall_s : float;
+    label : string;
+  }
+
+  type t = { oc : out_channel; fd : Unix.file_descr }
+
+  let magic = "pll-run-journal v1"
+  let path dir = Filename.concat dir "journal.log"
+
+  (* Tolerant reader: a crash can truncate the final line; any
+     unparseable line becomes a diagnosis, never an exception. *)
+  let read dir =
+    let file = path dir in
+    if not (Sys.file_exists file) then ([], [])
+    else
+      match read_file file with
+      | exception Sys_error m -> ([], [ Printf.sprintf "journal unreadable: %s" m ])
+      | content ->
+          let lines = String.split_on_char '\n' content in
+          let entries = ref [] and diags = ref [] in
+          List.iteri
+            (fun lineno line ->
+              if line <> "" then
+                match String.split_on_char ' ' line with
+                | _ when lineno = 0 && line = magic -> ()
+                | "run" :: _ -> ()
+                | "start" :: _ -> ()
+                | "done" :: seq :: key :: source :: status :: wall :: label_words -> (
+                    match (int_of_string_opt seq, float_of_string_opt wall) with
+                    | Some seq, Some wall_s ->
+                        entries :=
+                          {
+                            seq;
+                            key;
+                            source;
+                            status;
+                            wall_s;
+                            label = String.concat " " label_words;
+                          }
+                          :: !entries
+                    | _ ->
+                        diags :=
+                          Printf.sprintf "journal line %d malformed: %S" (lineno + 1)
+                            line
+                          :: !diags)
+                | _ ->
+                    diags :=
+                      Printf.sprintf "journal line %d unrecognized: %S" (lineno + 1) line
+                      :: !diags)
+            lines;
+          (List.rev !entries, List.rev !diags)
+
+  let open_ dir =
+    mkdir_p dir;
+    let file = path dir in
+    let fresh = not (Sys.file_exists file) in
+    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 file in
+    let fd = Unix.descr_of_out_channel oc in
+    if fresh then output_string oc (magic ^ "\n");
+    Printf.fprintf oc "run %.3f %d\n" (Unix.gettimeofday ()) (Unix.getpid ());
+    flush oc;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    { oc; fd }
+
+  let append t line =
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    (* The fsync is what makes the journal write-ahead: the [start] line
+       is durable before the worker launches. *)
+    try Unix.fsync t.fd with Unix.Unix_error _ -> ()
+
+  let record_start t ~seq ~key ~label =
+    append t (Printf.sprintf "start %d %s %s" seq key label)
+
+  let record_done t ~seq ~key ~source ~status ~wall_s ~label =
+    append t (Printf.sprintf "done %d %s %s %s %.6f %s" seq key source status wall_s label)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable supervised : int;
+  mutable forked : int;
+  mutable inline_solves : int;
+  mutable cache_hits : int;
+  mutable cache_stores : int;
+  mutable cache_rejects : int;
+  mutable crashes : int;
+  mutable timeouts : int;
+  mutable pool_tasks : int;
+}
+
+type ctx = {
+  jobs : int;
+  solve_timeout_s : float option;
+  mem_limit_mb : int option;
+  isolate : bool;
+  run_dir : string option;
+  cache_ : Cache.t option;
+  journal : Journal.t option;
+  replayed : int;
+  stats : stats;
+  mutable seq : int;
+  mutable in_worker : bool;
+  mutable interrupted : bool;
+}
+
+exception Interrupted
+
+let ncpus () = max 1 (Domain.recommended_domain_count ())
+
+let fresh_stats () =
+  {
+    supervised = 0;
+    forked = 0;
+    inline_solves = 0;
+    cache_hits = 0;
+    cache_stores = 0;
+    cache_rejects = 0;
+    crashes = 0;
+    timeouts = 0;
+    pool_tasks = 0;
+  }
+
+let create ?run_dir ?jobs ?solve_timeout_s ?mem_limit_mb ?(isolate = true) () =
+  let jobs = match jobs with Some j -> max 1 j | None -> ncpus () in
+  let cache_, journal, replayed =
+    match run_dir with
+    | None -> (None, None, 0)
+    | Some dir ->
+        mkdir_p dir;
+        mkdir_p (Filename.concat dir "artifacts");
+        let completed, diags = Journal.read dir in
+        List.iter (fun d -> Log.warn (fun k -> k "%s" d)) diags;
+        let replayed =
+          List.length
+            (List.filter
+               (fun (e : Journal.entry) -> e.source = "solved" || e.source = "cache")
+               completed)
+        in
+        ( Some (Cache.create ~dir:(Filename.concat dir "cache")),
+          Some (Journal.open_ dir),
+          replayed )
+  in
+  {
+    jobs;
+    solve_timeout_s;
+    mem_limit_mb;
+    isolate;
+    run_dir;
+    cache_;
+    journal;
+    replayed;
+    stats = fresh_stats ();
+    seq = 0;
+    in_worker = false;
+    interrupted = false;
+  }
+
+let jobs ctx = ctx.jobs
+let run_dir ctx = ctx.run_dir
+let cache ctx = ctx.cache_
+let stats ctx = ctx.stats
+let in_worker ctx = ctx.in_worker
+let replayed ctx = ctx.replayed
+let interrupt ctx = ctx.interrupted <- true
+
+let install_signal_handlers ctx =
+  let handle _ = ctx.interrupted <- true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+
+let check_interrupt ctx = if ctx.interrupted && not ctx.in_worker then raise Interrupted
+
+(* ------------------------------------------------------------------ *)
+(* Worker protocol                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let temp_result_file ctx =
+  match ctx.run_dir with
+  | Some dir ->
+      let tmp = Filename.concat dir "tmp" in
+      mkdir_p tmp;
+      Filename.temp_file ~temp_dir:tmp "worker" ".res"
+  | None -> Filename.temp_file "pll-supervise" ".res"
+
+let write_result file v =
+  let payload = Marshal.to_string v [] in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  let b = Bytes.of_string payload in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done;
+  (try Unix.fsync fd with Unix.Unix_error _ -> ());
+  Unix.close fd
+
+let read_result file =
+  match read_file file with
+  | exception Sys_error m -> Error ("worker result unreadable: " ^ m)
+  | "" -> Error "worker wrote no result"
+  | payload -> (
+      match Marshal.from_string payload 0 with
+      | v -> Ok v
+      | exception (Failure m | Invalid_argument m) ->
+          Error ("worker result does not decode: " ^ m))
+
+let cleanup file = try Sys.remove file with Sys_error _ -> ()
+
+let rec waitpid_retry flags pid =
+  try Unix.waitpid flags pid
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry flags pid
+
+let kill_and_reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (waitpid_retry [] pid)
+
+(* Chain a process-fault trigger in front of the caller's hook, so the
+   worker kills or wedges itself at the requested interior-point
+   iteration. Runs in the child only. *)
+let inject_proc_fault (pf : Fault.spec option) (params : Sdp.params) =
+  match pf with
+  | None | Some { Fault.kind = Fault.Corrupt_cache; _ } -> params
+  | Some { Fault.kind; iter; _ } ->
+      let inner = params.Sdp.on_iteration in
+      let hook i =
+        if i = iter then begin
+          match kind with
+          | Fault.Kill -> Unix.kill (Unix.getpid ()) Sys.sigkill
+          | Fault.Stall ->
+              while true do
+                Unix.sleepf 0.05
+              done
+          | Fault.Corrupt_cache -> ()
+        end;
+        match inner with Some h -> h i | None -> None
+      in
+      { params with Sdp.on_iteration = Some hook }
+
+type worker_outcome =
+  | W_done of Sdp.solution
+  | W_crashed of string
+  | W_timed_out of float
+
+(* Fork, solve in the child, marshal the solution back through a temp
+   file; reap on wall-clock timeout or interrupt. The child exits with
+   [Unix._exit] so no parent at_exit/flush machinery runs twice. *)
+let run_forked ctx ~proc_fault ~params prob =
+  let file = temp_result_file ctx in
+  flush stdout;
+  flush stderr;
+  ctx.stats.forked <- ctx.stats.forked + 1;
+  match Unix.fork () with
+  | 0 ->
+      ctx.in_worker <- true;
+      (match ctx.mem_limit_mb with
+      | Some mb -> ignore (set_mem_limit_mb mb)
+      | None -> ());
+      let params = inject_proc_fault proc_fault params in
+      let result =
+        try Ok (Sdp.solve ~params prob) with e -> Error (Printexc.to_string e)
+      in
+      (try write_result file result with _ -> ());
+      Unix._exit 0
+  | pid ->
+      let deadline =
+        Option.map (fun t -> Unix.gettimeofday () +. t) ctx.solve_timeout_s
+      in
+      let t0 = Unix.gettimeofday () in
+      let rec wait sleep =
+        if ctx.interrupted then begin
+          kill_and_reap pid;
+          cleanup file;
+          raise Interrupted
+        end;
+        match waitpid_retry [ Unix.WNOHANG ] pid with
+        | 0, _ -> (
+            match deadline with
+            | Some d when Unix.gettimeofday () > d ->
+                kill_and_reap pid;
+                W_timed_out (Unix.gettimeofday () -. t0)
+            | _ ->
+                Unix.sleepf sleep;
+                wait (Float.min 0.05 (sleep *. 1.5)))
+        | _, Unix.WEXITED 0 -> (
+            match read_result file with
+            | Ok (Ok sol) -> W_done sol
+            | Ok (Error e) -> W_crashed ("worker exception: " ^ e)
+            | Error e -> W_crashed e)
+        | _, Unix.WEXITED c -> W_crashed (Printf.sprintf "worker exited with code %d" c)
+        | _, Unix.WSIGNALED sg ->
+            W_crashed
+              (if sg = Sys.sigkill then "worker killed by SIGKILL (crash or OOM-kill)"
+               else Printf.sprintf "worker killed by signal %d" sg)
+        | _, Unix.WSTOPPED sg -> (
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (waitpid_retry [] pid);
+            W_crashed (Printf.sprintf "worker stopped by signal %d" sg))
+      in
+      let outcome = wait 0.002 in
+      cleanup file;
+      outcome
+
+(* A synthetic solution for a crashed or reaped worker: correctly
+   dimensioned, [best_score = infinity] so the resilience layer never
+   salvages it, and a status the retry ladder already knows how to
+   escalate from. *)
+let failed_solution status (p : Sdp.problem) : Sdp.solution =
+  {
+    Sdp.status;
+    x_blocks = Array.map (fun d -> Linalg.Mat.create d d) p.Sdp.block_dims;
+    f = Array.make p.Sdp.n_free 0.0;
+    y = Array.make (Array.length p.Sdp.constraints) 0.0;
+    s_blocks = Array.map (fun d -> Linalg.Mat.create d d) p.Sdp.block_dims;
+    primal_obj = Float.nan;
+    dual_obj = Float.nan;
+    gap = Float.infinity;
+    primal_res = Float.infinity;
+    dual_res = Float.infinity;
+    iterations = 0;
+    best_score = Float.infinity;
+    trace = [];
+    injected = 0;
+  }
+
+let status_string = function
+  | Sdp.Optimal -> "optimal"
+  | Sdp.Near_optimal -> "near_optimal"
+  | Sdp.Primal_infeasible -> "primal_infeasible"
+  | Sdp.Dual_infeasible -> "dual_infeasible"
+  | Sdp.Max_iterations -> "max_iterations"
+  | Sdp.Numerical_failure -> "numerical_failure"
+
+(* ------------------------------------------------------------------ *)
+(* The supervised solve                                               *)
+(* ------------------------------------------------------------------ *)
+
+let solve_sdp ctx ~label ?proc_fault ?(params = Sdp.default_params) prob =
+  check_interrupt ctx;
+  let st = ctx.stats in
+  st.supervised <- st.supervised + 1;
+  ctx.seq <- ctx.seq + 1;
+  let seq = ctx.seq in
+  let key = Sdp.fingerprint ~params prob in
+  let cached =
+    match ctx.cache_ with
+    | None -> None
+    | Some c -> (
+        match Cache.load c ~key with
+        | Ok sol -> Some sol
+        | Error Cache.Missing -> None
+        | Error err ->
+            st.cache_rejects <- st.cache_rejects + 1;
+            Log.warn (fun k ->
+                k "cache entry %s for %S rejected (%s) — re-solving" key label
+                  (Cache.error_to_string err));
+            None)
+  in
+  match cached with
+  | Some sol ->
+      st.cache_hits <- st.cache_hits + 1;
+      (match ctx.journal with
+      | Some j when not ctx.in_worker ->
+          Journal.record_done j ~seq ~key ~source:"cache"
+            ~status:(status_string sol.Sdp.status) ~wall_s:0.0 ~label
+      | _ -> ());
+      sol
+  | None ->
+      (match ctx.journal with
+      | Some j when not ctx.in_worker -> Journal.record_start j ~seq ~key ~label
+      | _ -> ());
+      let t0 = Unix.gettimeofday () in
+      let sol, source =
+        if ctx.in_worker || not ctx.isolate then begin
+          st.inline_solves <- st.inline_solves + 1;
+          (Sdp.solve ~params prob, "solved")
+        end
+        else
+          match run_forked ctx ~proc_fault ~params prob with
+          | W_done sol -> (sol, "solved")
+          | W_crashed why ->
+              st.crashes <- st.crashes + 1;
+              Log.warn (fun k -> k "solve #%d %S: %s" seq label why);
+              (failed_solution Sdp.Numerical_failure prob, "crash")
+          | W_timed_out after ->
+              st.timeouts <- st.timeouts + 1;
+              Log.warn (fun k ->
+                  k "solve #%d %S: worker reaped after %.1fs wall-clock timeout" seq
+                    label after);
+              (failed_solution Sdp.Max_iterations prob, "timeout")
+      in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      (* Only clean, uninterrupted solves are cached: a result shaped by
+         an injected fault or a deadline interrupt is not a function of
+         the request alone. *)
+      (if source = "solved" && sol.Sdp.injected = 0 then
+         match ctx.cache_ with
+         | Some c -> (
+             match Cache.store c ~key sol with
+             | Ok () -> (
+                 st.cache_stores <- st.cache_stores + 1;
+                 match proc_fault with
+                 | Some { Fault.kind = Fault.Corrupt_cache; _ } ->
+                     ignore (Cache.corrupt c ~key);
+                     Log.warn (fun k ->
+                         k "fault injection: corrupted cache entry %s for solve #%d" key
+                           seq)
+                 | _ -> ())
+             | Error e -> Log.warn (fun k -> k "%s" e))
+         | None -> ());
+      (match ctx.journal with
+      | Some j when not ctx.in_worker ->
+          Journal.record_done j ~seq ~key ~source
+            ~status:(status_string sol.Sdp.status) ~wall_s ~label
+      | _ -> ());
+      sol
+
+let save_artifact ctx ~name content =
+  match ctx.run_dir with
+  | None -> None
+  | Some dir ->
+      let safe =
+        String.map (fun c -> if c = '/' || c = ' ' then '_' else c) name
+      in
+      let path = Filename.concat (Filename.concat dir "artifacts") safe in
+      (match write_atomic path content with
+      | () -> ()
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          Log.warn (fun k -> k "cannot persist artifact %s" path));
+      Some path
+
+let report_json ctx =
+  let s = ctx.stats in
+  Printf.sprintf
+    "{\"jobs\":%d,\"run_dir\":%s,\"supervised\":%d,\"forked\":%d,\"inline\":%d,\"cache_hits\":%d,\"cache_stores\":%d,\"cache_rejects\":%d,\"crashes\":%d,\"timeouts\":%d,\"pool_tasks\":%d,\"replayed_on_open\":%d}"
+    ctx.jobs
+    (match ctx.run_dir with
+    | None -> "null"
+    | Some d -> Printf.sprintf "\"%s\"" (String.concat "\\\\" (String.split_on_char '\\' d)))
+    s.supervised s.forked s.inline_solves s.cache_hits s.cache_stores s.cache_rejects
+    s.crashes s.timeouts s.pool_tasks ctx.replayed
+
+(* ------------------------------------------------------------------ *)
+(* Bounded parallel fan-out                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  let map ctx ~f items =
+    let items = Array.of_list items in
+    let n = Array.length items in
+    if n = 0 then []
+    else if ctx.in_worker then
+      (* Already inside a worker: the isolation boundary exists, run
+         inline (no nested forking). *)
+      Array.to_list
+        (Array.mapi
+           (fun i x -> try Ok (f i x) with e -> Error (Printexc.to_string e))
+           items)
+    else begin
+      check_interrupt ctx;
+      ctx.stats.pool_tasks <- ctx.stats.pool_tasks + n;
+      let results = Array.make n (Error "not run") in
+      let running = Hashtbl.create 8 in
+      let launch i =
+        let file = temp_result_file ctx in
+        flush stdout;
+        flush stderr;
+        ctx.stats.forked <- ctx.stats.forked + 1;
+        match Unix.fork () with
+        | 0 ->
+            ctx.in_worker <- true;
+            let r = try Ok (f i items.(i)) with e -> Error (Printexc.to_string e) in
+            (try write_result file r with _ -> ());
+            Unix._exit 0
+        | pid -> Hashtbl.replace running pid (i, file)
+      in
+      let reap_one () =
+        match (try Unix.wait () with Unix.Unix_error (Unix.EINTR, _, _) -> (0, Unix.WEXITED 0)) with
+        | 0, _ -> ()
+        | pid, st -> (
+            match Hashtbl.find_opt running pid with
+            | None -> ()
+            | Some (i, file) ->
+                Hashtbl.remove running pid;
+                let r =
+                  match st with
+                  | Unix.WEXITED 0 -> (
+                      match read_result file with Ok r -> r | Error e -> Error e)
+                  | Unix.WEXITED c -> Error (Printf.sprintf "worker exited with code %d" c)
+                  | Unix.WSIGNALED sg ->
+                      Error (Printf.sprintf "worker killed by signal %d" sg)
+                  | Unix.WSTOPPED sg ->
+                      kill_and_reap pid;
+                      Error (Printf.sprintf "worker stopped by signal %d" sg)
+                in
+                cleanup file;
+                results.(i) <- r)
+      in
+      let next = ref 0 in
+      (try
+         while !next < n || Hashtbl.length running > 0 do
+           if ctx.interrupted then begin
+             Hashtbl.iter (fun pid _ -> kill_and_reap pid) running;
+             Hashtbl.reset running;
+             raise Interrupted
+           end;
+           if !next < n && Hashtbl.length running < ctx.jobs then begin
+             launch !next;
+             incr next
+           end
+           else reap_one ()
+         done
+       with e ->
+         Hashtbl.iter (fun pid (_, file) -> kill_and_reap pid; cleanup file) running;
+         raise e);
+      Array.to_list results
+    end
+end

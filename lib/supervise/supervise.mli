@@ -1,0 +1,235 @@
+(** Process-isolated solve supervision: forked workers, a crash-safe run
+    journal, and a content-addressed solve cache.
+
+    The verification pipeline decomposes into many interior-point solves
+    (per-mode Lyapunov certificates, bisection probes on the level β,
+    advection and escape checks). Run in one process, a single hung or
+    segfaulting solve loses the whole run; the {!Resilient} retry ladder
+    only recovers failures the solver itself reports. This module adds
+    the process-level layer:
+
+    - {e fault isolation}: every supervised [Sdp.solve] runs in a forked
+      worker with a wall-clock timeout and an optional address-space
+      rlimit; a worker that crashes (nonzero exit, signal, OOM-kill) or
+      stalls past its deadline is reaped with SIGKILL and reported as a
+      failed attempt, which the retry ladder running in the parent can
+      recover from;
+    - {e parallel fan-out}: independent work items (per-mode inclusion
+      checks, escape-certificate searches, exact re-validation
+      conditions) run across a bounded worker pool ({!Pool.map},
+      [--jobs N]);
+    - {e crash-safe restartability}: every solve request is canonically
+      serialized and hashed ({!Sdp.fingerprint}); clean results are
+      written atomically (tmp + rename, fsync'd) into a content-
+      addressed cache under the run directory, and a write-ahead journal
+      records each solve's start and completion — so a killed run can be
+      replayed with [--resume]: identical requests hash to cached
+      results and are not re-solved;
+    - {e process-level fault injection}: [kill@S:I] (worker SIGKILLs
+      itself at interior-point iteration [I] of logical solve [S]),
+      [stall@S:I] (worker wedges so the timeout reaper must act) and
+      [corrupt-cache@S] (the entry stored for solve [S] is truncated
+      after the write) exercise every recovery path deterministically.
+
+    The run directory also reserves [artifacts/] for exact-certificate
+    artifacts ({!save_artifact}), so SOS proofs found along the way
+    survive crashes next to the solve cache that produced them.
+
+    Only {e clean} results are cached: a solve in which any
+    [on_iteration] intervention fired (injected fault, deadline
+    interrupt) is machine- or plan-dependent and is always re-solved.
+
+    Fork-based, Unix-only. A worker inherits the problem by fork (no
+    request marshalling); only the [Sdp.solution] — plain data — crosses
+    back, via [Marshal] into a temp file. Inside a pool worker, nested
+    supervision degrades gracefully: solves run inline (the worker is
+    already the isolation boundary) but still consult and populate the
+    cache. *)
+
+(** Process-level fault injection specs, parsed from the same fault-plan
+    strings as {!Resilient.Faults} ([kill@S:I], [stall@S:I],
+    [corrupt-cache@S]). *)
+module Fault : sig
+  type kind =
+    | Kill  (** worker SIGKILLs itself at the trigger iteration *)
+    | Stall  (** worker wedges (sleeps forever) at the trigger iteration *)
+    | Corrupt_cache
+        (** the cache entry stored for the target solve is truncated
+            immediately after the atomic write *)
+
+  type spec = {
+    kind : kind;
+    solve : int;  (** 1-based logical solve index; 0 = every solve *)
+    iter : int;  (** trigger iteration for [Kill]/[Stall] *)
+  }
+
+  val parse : string -> (spec, string) result option
+  (** [parse tok] is [None] when [tok] is not a process-fault spec (so a
+      caller can fall through to in-process kinds), [Some (Ok s)] on a
+      well-formed [kill@S:I] / [stall@S:I] / [corrupt-cache@S[:I]], and
+      [Some (Error _)] on a malformed one. *)
+
+  val to_string : spec -> string
+
+  val for_solve : spec list -> int -> spec option
+  (** The first spec targeting the given logical solve index, if any. *)
+end
+
+(** The content-addressed solve cache. Entries are
+    [cache/<fingerprint>.solve] files: a one-line header carrying the
+    payload length and digest, then the marshalled [Sdp.solution].
+    Writes go to a temp file, are fsync'd and renamed into place, so a
+    crash mid-write never leaves a readable-but-wrong entry. The loader
+    re-verifies length and digest and returns a structured diagnosis —
+    never raises — on truncated, corrupted or unreadable entries; the
+    supervisor logs the diagnosis and re-solves. *)
+module Cache : sig
+  type t
+
+  type entry_error =
+    | Missing
+    | Bad_header of string  (** malformed or wrong-version header line *)
+    | Truncated of { expected : int; got : int }
+    | Digest_mismatch
+    | Decode_failure of string  (** header OK but payload does not unmarshal *)
+    | Io_error of string
+
+  val error_to_string : entry_error -> string
+
+  val create : dir:string -> t
+  (** Creates [dir] if needed. *)
+
+  val dir : t -> string
+  val path : t -> key:string -> string
+  val store : t -> key:string -> Sdp.solution -> (unit, string) result
+  val load : t -> key:string -> (Sdp.solution, entry_error) result
+
+  val corrupt : t -> key:string -> bool
+  (** Truncate the entry for [key] in place (deliberately non-atomic) —
+      the [corrupt-cache] fault. [false] when no entry exists. *)
+end
+
+(** The write-ahead run journal, [journal.log] in the run directory:
+    line-oriented, one [start] line fsync'd before each solve launches
+    and one [done] line after it completes (with its outcome source:
+    [solved], [cache], [crash], [timeout]). Malformed lines — e.g. a
+    line truncated by the crash that killed the run — are skipped with a
+    structured diagnosis, never a raise. *)
+module Journal : sig
+  type entry = {
+    seq : int;  (** supervised-solve sequence number within the run *)
+    key : string;  (** solve-request fingerprint *)
+    source : string;  (** [solved] or [cache] *)
+    status : string;  (** final [Sdp.status] of the recorded solution *)
+    wall_s : float;
+    label : string;
+  }
+
+  val path : string -> string
+  (** Journal file path for a run directory. *)
+
+  val read : string -> entry list * string list
+  (** [read run_dir] is the completed ([done]) entries of the journal,
+      oldest first, plus one diagnosis per unparseable line. Missing
+      journal reads as ([[], []]). *)
+end
+
+type stats = {
+  mutable supervised : int;  (** supervised solve requests *)
+  mutable forked : int;  (** worker processes launched *)
+  mutable inline_solves : int;  (** solves run inline inside a pool worker *)
+  mutable cache_hits : int;
+  mutable cache_stores : int;
+  mutable cache_rejects : int;  (** corrupt/truncated entries rejected, then re-solved *)
+  mutable crashes : int;  (** workers that died by signal or nonzero exit *)
+  mutable timeouts : int;  (** workers reaped past the wall-clock budget *)
+  mutable pool_tasks : int;  (** items executed through {!Pool.map} *)
+}
+
+type ctx
+(** A supervision context: settings, counters, and (optionally) the run
+    directory holding cache + journal + artifacts. *)
+
+exception Interrupted
+(** Raised at the next supervision point after {!interrupt} (or a
+    SIGINT/SIGTERM once {!install_signal_handlers} ran): in-flight
+    workers are SIGKILLed first, and everything already completed is on
+    disk — the run can be resumed. *)
+
+val ncpus : unit -> int
+(** Best-effort available-core count (the [--jobs] default). *)
+
+val create :
+  ?run_dir:string ->
+  ?jobs:int ->
+  ?solve_timeout_s:float ->
+  ?mem_limit_mb:int ->
+  ?isolate:bool ->
+  unit ->
+  ctx
+(** Fresh context. [run_dir], when given, is created along with its
+    [cache/] and [artifacts/] subdirectories and write-ahead journal;
+    without it there is no persistence (isolation and pooling still
+    work). [jobs] defaults to {!ncpus}; [isolate] (default [true])
+    controls whether individual solves fork workers — with [false] only
+    the cache/journal layer is active. *)
+
+val jobs : ctx -> int
+val run_dir : ctx -> string option
+val cache : ctx -> Cache.t option
+val stats : ctx -> stats
+val in_worker : ctx -> bool
+
+val replayed : ctx -> int
+(** Completed solves already on record in the journal when this context
+    opened the run directory — what [--resume] will replay from cache. *)
+
+val interrupt : ctx -> unit
+(** Request a graceful checkpoint-and-exit: the next supervision point
+    kills in-flight workers and raises {!Interrupted}. Safe from a
+    signal handler. *)
+
+val install_signal_handlers : ctx -> unit
+(** Route SIGINT/SIGTERM to {!interrupt}. *)
+
+val solve_sdp :
+  ctx ->
+  label:string ->
+  ?proc_fault:Fault.spec ->
+  ?params:Sdp.params ->
+  Sdp.problem ->
+  Sdp.solution
+(** The supervised [Sdp.solve]: fingerprint the request, return the
+    cached solution on a hit (rejecting corrupt entries with a logged
+    diagnosis), otherwise journal the start, run the solve in a forked
+    worker under the timeout/rlimit (inline when [isolate] is off or
+    already inside a pool worker), store a clean result atomically, and
+    journal completion. A crashed worker yields a synthetic
+    [Numerical_failure] solution, a timed-out one [Max_iterations] —
+    with [best_score = infinity] so they are never salvaged — letting
+    the caller's retry ladder escalate exactly as for in-process
+    failures. Never raises on worker trouble; raises {!Interrupted} only
+    after {!interrupt}. *)
+
+val save_artifact : ctx -> name:string -> string -> string option
+(** Atomically persist serialized proof-artifact text under
+    [artifacts/<name>] in the run directory (the {!Exact.Artifact}
+    integration point). Returns the path written, or [None] without a
+    run directory. *)
+
+val report_json : ctx -> string
+(** Machine-readable supervision report: jobs, counters, replay count. *)
+
+(** Bounded parallel fan-out over independent work items. *)
+module Pool : sig
+  val map : ctx -> f:(int -> 'a -> 'b) -> 'a list -> ('b, string) result list
+  (** [map ctx ~f items] runs [f i item] for each item across at most
+      {!jobs} forked workers and returns the results in item order.
+      [f]'s result must be marshal-safe (plain data, no closures). A
+      worker that raises, crashes or is killed yields [Error] for its
+      item only. Called from inside a pool worker it degrades to an
+      inline sequential map (no nested forking). The fork is taken even
+      for [jobs = 1], so [-j 1] and [-j N] traverse the same code path
+      and produce identical reports. Raises {!Interrupted} (after
+      killing outstanding workers) if an interrupt arrives mid-run. *)
+end

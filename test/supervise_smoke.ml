@@ -1,0 +1,163 @@
+(* Process-supervision smoke test — the crash/checkpoint acceptance
+   scenario.
+
+   1. kill@solve recovery: the third-order P1 certificate search must
+      survive a worker that SIGKILLs itself mid-solve (the retry ladder
+      escalates past the synthetic failure), and a fault-free run on the
+      same run directory must reach the same verdict.
+   2. resume: rerunning the identical fault-free pipeline against the
+      populated run directory must complete from the solve cache alone —
+      zero forked workers, every supervised request a cache hit, and
+      bit-identical certificates.
+   3. corrupt-cache@solve: a deliberately truncated cache entry must be
+      rejected with a structured diagnosis and transparently re-solved,
+      not crash the loader.
+   4. pool determinism: the pooled exact-validation fan-out must return
+      the same verdicts at -j 1 and -j 4.
+
+   Exits nonzero on any deviation. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("supervise_smoke: " ^ m); exit 1) fmt
+
+let plan s =
+  match Resilient.Faults.of_string s with
+  | Ok p -> p
+  | Error e -> die "bad fault plan %S: %s" s e
+
+let fresh_dir tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pll-supervise-smoke-%d-%s" (Unix.getpid ()) tag)
+
+let config_with pol =
+  {
+    (Certificates.default_config Pll.Third) with
+    Certificates.degree = 4;
+    resilience = pol;
+  }
+
+let () =
+  let s = Pll.scale Pll.table1_third in
+  let run_dir = fresh_dir "main" in
+
+  (* ---- 1. worker kill mid-solve: recovered, same verdict as clean ---- *)
+  let faults = plan "kill@1:2" in
+  let ctx1 = Supervise.create ~run_dir ~jobs:2 () in
+  let pol1 = Resilient.make ~faults ~supervise:ctx1 () in
+  (match Resilient.Faults.proc_specs faults with
+  | [ _ ] -> ()
+  | l -> die "expected one process fault in the plan, parsed %d" (List.length l));
+  let _cert1 =
+    match Certificates.find_multi_lyapunov ~config:(config_with pol1) s with
+    | Error e -> die "pipeline did not survive the killed worker: %s" e
+    | Ok c -> c
+  in
+  let st1 = Supervise.stats ctx1 in
+  if st1.Supervise.crashes < 1 then
+    die "worker kill not observed (crashes = %d)" st1.Supervise.crashes;
+  let diag =
+    match
+      List.find_opt
+        (fun d -> d.Resilient.label = "multi-lyapunov")
+        (Resilient.journal pol1)
+    with
+    | Some d -> d
+    | None -> die "multi-lyapunov solve not journaled"
+  in
+  (match diag.Resilient.attempts with
+  | first :: _ :: _ when first.Resilient.status = Sdp.Numerical_failure ->
+      Printf.printf "killed worker recovered after %d attempts (rung: %s)\n%!"
+        (List.length diag.Resilient.attempts)
+        (match diag.Resilient.accepted_rung with
+        | Some r -> Resilient.rung_name r
+        | None -> "?")
+  | _ -> die "expected a crashed baseline attempt followed by a recovery");
+  if diag.Resilient.outcome <> Resilient.Certified then die "recovery did not end certified";
+
+  (* ---- fault-free run, same run dir: same verdict ---- *)
+  let ctx2 = Supervise.create ~run_dir ~jobs:2 () in
+  let pol2 = Resilient.make ~supervise:ctx2 () in
+  let cert2 =
+    match Certificates.find_multi_lyapunov ~config:(config_with pol2) s with
+    | Error e -> die "fault-free verdict differs from faulted run: %s" e
+    | Ok c -> c
+  in
+  print_endline "fault-free run on the same run dir reached the same verdict";
+
+  (* ---- 2. resume: identical rerun completes from the cache alone ---- *)
+  let ctx3 = Supervise.create ~run_dir ~jobs:2 () in
+  if Supervise.replayed ctx3 < 1 then
+    die "journal records no completed solves to resume from";
+  let pol3 = Resilient.make ~supervise:ctx3 () in
+  let cert3 =
+    match Certificates.find_multi_lyapunov ~config:(config_with pol3) s with
+    | Error e -> die "resumed run failed: %s" e
+    | Ok c -> c
+  in
+  let st3 = Supervise.stats ctx3 in
+  if st3.Supervise.forked <> 0 then
+    die "resume re-solved: %d worker(s) forked, expected 0" st3.Supervise.forked;
+  if st3.Supervise.cache_hits <> st3.Supervise.supervised || st3.Supervise.supervised = 0
+  then
+    die "resume not fully cached: %d hits of %d supervised solves"
+      st3.Supervise.cache_hits st3.Supervise.supervised;
+  Array.iteri
+    (fun i v ->
+      if not (Poly.equal v cert2.Certificates.vs.(i)) then
+        die "resumed certificate V_%d differs from the original" i)
+    cert3.Certificates.vs;
+  Printf.printf "resume replayed %d/%d solves from the cache, 0 re-solves\n%!"
+    st3.Supervise.cache_hits st3.Supervise.supervised;
+
+  (* ---- 3. corrupt-cache fault: diagnosed, then re-solved ---- *)
+  let dir2 = fresh_dir "corrupt" in
+  let prob =
+    {
+      Sdp.block_dims = [| 2 |];
+      n_free = 0;
+      constraints =
+        [| { Sdp.lhs = [ { Sdp.blk = 0; row = 0; col = 0; value = 1.0 } ]; free = []; rhs = 1.0 } |];
+      obj_blocks =
+        [
+          { Sdp.blk = 0; row = 0; col = 0; value = 1.0 };
+          { Sdp.blk = 0; row = 1; col = 1; value = 1.0 };
+        ];
+      obj_free = [];
+    }
+  in
+  let ctx4 = Supervise.create ~run_dir:dir2 ~jobs:1 () in
+  let pol4 = Resilient.make ~faults:(plan "corrupt-cache@1") ~supervise:ctx4 () in
+  let sol4, _ = Resilient.solve_sdp pol4 ~label:"corruptible" prob in
+  if sol4.Sdp.status <> Sdp.Optimal then die "corruptible solve did not converge";
+  if (Supervise.stats ctx4).Supervise.cache_stores <> 1 then die "solve was not cached";
+  let ctx5 = Supervise.create ~run_dir:dir2 ~jobs:1 () in
+  let pol5 = Resilient.make ~supervise:ctx5 () in
+  let sol5, _ = Resilient.solve_sdp pol5 ~label:"reload" prob in
+  let st5 = Supervise.stats ctx5 in
+  if st5.Supervise.cache_rejects <> 1 then
+    die "corrupt entry not diagnosed (rejects = %d)" st5.Supervise.cache_rejects;
+  if st5.Supervise.forked <> 1 then
+    die "corrupt entry not re-solved (forked = %d)" st5.Supervise.forked;
+  if sol5.Sdp.status <> Sdp.Optimal then die "re-solve after corruption did not converge";
+  print_endline "corrupt cache entry diagnosed and transparently re-solved";
+
+  (* ---- 4. pooled exact validation: -j 1 and -j 4 agree ---- *)
+  let validate jobs =
+    let ctx = Supervise.create ~run_dir ~jobs () in
+    let pol = Resilient.make ~supervise:ctx () in
+    let cert = { cert3 with Certificates.cfg = { cert3.Certificates.cfg with Certificates.resilience = pol } } in
+    match Certificates.validate_exactly s cert with
+    | Error e -> die "exact validation (-j %d) failed structurally: %s" jobs e
+    | Ok v ->
+        ( v.Certificates.all_proven,
+          List.map
+            (fun (name, verdict) -> (name, Exact.Check.verdict_to_string verdict))
+            v.Certificates.verdicts )
+  in
+  let proven1, verdicts1 = validate 1 in
+  let proven4, verdicts4 = validate 4 in
+  if not proven1 then die "exact validation did not prove the certificate at -j 1";
+  if proven1 <> proven4 || verdicts1 <> verdicts4 then
+    die "-j 1 and -j 4 exact validations disagree";
+  Printf.printf "pooled exact validation deterministic across -j 1 / -j 4 (%d conditions)\n%!"
+    (List.length verdicts1);
+  print_endline "supervise_smoke: OK"

@@ -7,6 +7,7 @@ let () =
       ("sdp", Test_sdp.suite);
       ("sos", Test_sos.suite);
       ("resilient", Test_resilient.suite);
+      ("supervise", Test_supervise.suite);
       ("hybrid", Test_hybrid.suite);
       ("pll", Test_pll.suite);
       ("certificates", Test_certificates.suite);

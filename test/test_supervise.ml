@@ -1,0 +1,327 @@
+(* Tests for process-isolated solve supervision: request fingerprints,
+   the content-addressed cache and its corruption diagnoses, the
+   write-ahead journal's tolerant reader, process-fault spec parsing,
+   deadline clock modes, and the worker pool. *)
+
+let entry blk row col value = { Sdp.blk; row; col; value }
+
+(* min tr X s.t. X_00 = 1 over a 2x2 block: optimal X = diag(1,0). *)
+let small_problem ?(rhs = 1.0) () =
+  {
+    Sdp.block_dims = [| 2 |];
+    n_free = 0;
+    constraints = [| { Sdp.lhs = [ entry 0 0 0 1.0 ]; free = []; rhs } |];
+    obj_blocks = [ entry 0 0 0 1.0; entry 0 1 1 1.0 ];
+    obj_free = [];
+  }
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pll-test-supervise-%d-%d" (Unix.getpid ()) !n)
+    in
+    d
+
+(* ---- fingerprints ---- *)
+
+let test_fingerprint_stable () =
+  let p = small_problem () in
+  Alcotest.(check string) "same input, same key" (Sdp.fingerprint p) (Sdp.fingerprint p);
+  let q = small_problem ~rhs:2.0 () in
+  Alcotest.(check bool) "different data, different key" true
+    (Sdp.fingerprint p <> Sdp.fingerprint q);
+  let params = { Sdp.default_params with Sdp.max_iter = 7 } in
+  Alcotest.(check bool) "different params, different key" true
+    (Sdp.fingerprint p <> Sdp.fingerprint ~params p)
+
+let test_fingerprint_ignores_hooks () =
+  let p = small_problem () in
+  let params =
+    { Sdp.default_params with Sdp.on_iteration = Some (fun _ -> None); verbose = true }
+  in
+  Alcotest.(check string) "hooks and verbosity excluded from the key"
+    (Sdp.fingerprint p)
+    (Sdp.fingerprint ~params p)
+
+(* ---- cache ---- *)
+
+let test_cache_roundtrip () =
+  let c = Supervise.Cache.create ~dir:(tmp_dir ()) in
+  let p = small_problem () in
+  let sol = Sdp.solve p in
+  let key = Sdp.fingerprint p in
+  (match Supervise.Cache.store c ~key sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Supervise.Cache.load c ~key with
+  | Error e -> Alcotest.fail (Supervise.Cache.error_to_string e)
+  | Ok sol' ->
+      Alcotest.(check bool) "status survives" true (sol'.Sdp.status = sol.Sdp.status);
+      Alcotest.(check (float 0.0)) "objective survives bit-exactly" sol.Sdp.primal_obj
+        sol'.Sdp.primal_obj
+
+let test_cache_missing () =
+  let c = Supervise.Cache.create ~dir:(tmp_dir ()) in
+  match Supervise.Cache.load c ~key:"deadbeef" with
+  | Error Supervise.Cache.Missing -> ()
+  | Error e -> Alcotest.fail ("expected Missing, got " ^ Supervise.Cache.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Missing, got a solution"
+
+let test_cache_truncation_diagnosed () =
+  let c = Supervise.Cache.create ~dir:(tmp_dir ()) in
+  let p = small_problem () in
+  let key = Sdp.fingerprint p in
+  (match Supervise.Cache.store c ~key (Sdp.solve p) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "corrupt truncates in place" true (Supervise.Cache.corrupt c ~key);
+  (match Supervise.Cache.load c ~key with
+  | Error (Supervise.Cache.Truncated _ | Supervise.Cache.Bad_header _) -> ()
+  | Error e ->
+      Alcotest.fail ("expected a truncation diagnosis, got " ^ Supervise.Cache.error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated entry loaded");
+  Alcotest.(check bool) "corrupting a missing entry reports false" false
+    (Supervise.Cache.corrupt c ~key:"deadbeef")
+
+let test_cache_digest_mismatch () =
+  let c = Supervise.Cache.create ~dir:(tmp_dir ()) in
+  let p = small_problem () in
+  let key = Sdp.fingerprint p in
+  (match Supervise.Cache.store c ~key (Sdp.solve p) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Flip one payload byte without changing the length. *)
+  let path = Supervise.Cache.path c ~key in
+  let ic = open_in_bin path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string content in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  match Supervise.Cache.load c ~key with
+  | Error Supervise.Cache.Digest_mismatch -> ()
+  | Error e ->
+      Alcotest.fail ("expected Digest_mismatch, got " ^ Supervise.Cache.error_to_string e)
+  | Ok _ -> Alcotest.fail "corrupted entry loaded"
+
+(* ---- journal ---- *)
+
+let test_journal_tolerant_read () =
+  let dir = tmp_dir () in
+  Unix.mkdir dir 0o755;
+  let oc = open_out (Supervise.Journal.path dir) in
+  output_string oc "pll-run-journal v1\n";
+  output_string oc "run 1.0 123\n";
+  output_string oc "start 1 abcd label-a\n";
+  output_string oc "done 1 abcd solved optimal 0.25 label-a\n";
+  output_string oc "done 2 efgh cache optimal 0.0 label b with spaces\n";
+  output_string oc "done x bad not-an-entry\n";
+  output_string oc "gibberish line\n";
+  (* A line truncated by a crash, no trailing newline. *)
+  output_string oc "done 3 ijkl solv";
+  close_out oc;
+  let entries, diags = Supervise.Journal.read dir in
+  Alcotest.(check int) "two well-formed done entries" 2 (List.length entries);
+  let e1 = List.nth entries 0 and e2 = List.nth entries 1 in
+  Alcotest.(check int) "seq" 1 e1.Supervise.Journal.seq;
+  Alcotest.(check string) "source" "solved" e1.Supervise.Journal.source;
+  Alcotest.(check string) "multi-word label survives" "label b with spaces"
+    e2.Supervise.Journal.label;
+  Alcotest.(check bool) "malformed lines become diagnoses, not raises" true
+    (List.length diags >= 2)
+
+let test_journal_missing () =
+  let entries, diags = Supervise.Journal.read (tmp_dir ()) in
+  Alcotest.(check int) "no entries" 0 (List.length entries);
+  Alcotest.(check int) "no diagnoses" 0 (List.length diags)
+
+(* ---- fault specs ---- *)
+
+let test_fault_parse () =
+  (match Supervise.Fault.parse "kill@3:2" with
+  | Some (Ok { Supervise.Fault.kind = Supervise.Fault.Kill; solve = 3; iter = 2 }) -> ()
+  | _ -> Alcotest.fail "kill@3:2 did not parse");
+  (match Supervise.Fault.parse "stall@*:1" with
+  | Some (Ok { Supervise.Fault.kind = Supervise.Fault.Stall; solve = 0; iter = 1 }) -> ()
+  | _ -> Alcotest.fail "stall@*:1 did not parse");
+  (match Supervise.Fault.parse "corrupt-cache@2" with
+  | Some (Ok { Supervise.Fault.kind = Supervise.Fault.Corrupt_cache; solve = 2; _ }) -> ()
+  | _ -> Alcotest.fail "corrupt-cache@2 did not parse");
+  (match Supervise.Fault.parse "kill@x:y" with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "malformed kill spec should be a hard error");
+  (match Supervise.Fault.parse "fail@1:2" with
+  | None -> ()
+  | _ -> Alcotest.fail "in-process kinds must fall through to Resilient");
+  match Supervise.Fault.parse "garbage" with
+  | None -> ()
+  | _ -> Alcotest.fail "non-fault tokens must fall through"
+
+let test_mixed_plan_parse () =
+  match Resilient.Faults.of_string "fail@1:2,kill@2:3,corrupt-cache@1" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check int) "process specs split out" 2
+        (List.length (Resilient.Faults.proc_specs plan));
+      let s = Resilient.Faults.to_string plan in
+      Alcotest.(check bool) "round-trip keeps all kinds" true
+        (s = "fail@1:2,kill@2:3,corrupt-cache@1");
+      (match Resilient.Faults.of_string s with
+      | Ok plan2 ->
+          Alcotest.(check string) "to_string/of_string round-trips" s
+            (Resilient.Faults.to_string plan2)
+      | Error e -> Alcotest.fail e);
+      match Resilient.Faults.of_string "kill@bad" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed process spec accepted"
+
+let test_fault_for_solve () =
+  let spec k solve iter = { Supervise.Fault.kind = k; solve; iter } in
+  let specs = [ spec Supervise.Fault.Kill 2 1; spec Supervise.Fault.Stall 0 1 ] in
+  (match Supervise.Fault.for_solve specs 2 with
+  | Some { Supervise.Fault.kind = Supervise.Fault.Kill; _ } -> ()
+  | _ -> Alcotest.fail "exact index match wins");
+  match Supervise.Fault.for_solve specs 7 with
+  | Some { Supervise.Fault.kind = Supervise.Fault.Stall; _ } -> ()
+  | _ -> Alcotest.fail "wildcard spec applies to every solve"
+
+(* ---- deadline clock modes ---- *)
+
+let test_wall_clock_deadline () =
+  let fake = ref 0.0 in
+  Resilient.set_wall_clock_source (Some (fun () -> !fake));
+  Fun.protect
+    ~finally:(fun () -> Resilient.set_wall_clock_source None)
+    (fun () ->
+      let pol = Resilient.make ~pipeline_deadline_s:10.0 () in
+      Resilient.begin_pipeline pol;
+      Alcotest.(check bool) "not out of time at t=0" false (Resilient.out_of_time pol);
+      fake := 11.0;
+      Alcotest.(check bool) "out of time once the wall advances" true
+        (Resilient.out_of_time pol);
+      Alcotest.(check (float 1e-9)) "elapsed reads the injected source" 11.0
+        (Resilient.elapsed_s pol))
+
+let test_cpu_clock_ignores_wall_source () =
+  let fake = ref 0.0 in
+  Resilient.set_wall_clock_source (Some (fun () -> !fake));
+  Fun.protect
+    ~finally:(fun () -> Resilient.set_wall_clock_source None)
+    (fun () ->
+      let pol = Resilient.make ~clock_mode:Resilient.Cpu_time ~pipeline_deadline_s:1e6 () in
+      Resilient.begin_pipeline pol;
+      fake := 1e9;
+      Alcotest.(check bool) "CPU mode never reads the wall source" false
+        (Resilient.out_of_time pol))
+
+(* ---- supervised solves ---- *)
+
+let test_inline_solve_and_cache () =
+  let ctx = Supervise.create ~run_dir:(tmp_dir ()) ~isolate:false () in
+  let p = small_problem () in
+  let sol = Supervise.solve_sdp ctx ~label:"unit" p in
+  Alcotest.(check bool) "solved" true (sol.Sdp.status = Sdp.Optimal);
+  let st = Supervise.stats ctx in
+  Alcotest.(check int) "first solve misses the cache" 0 st.Supervise.cache_hits;
+  Alcotest.(check int) "clean result stored" 1 st.Supervise.cache_stores;
+  let sol' = Supervise.solve_sdp ctx ~label:"unit" p in
+  Alcotest.(check int) "second request hits the cache" 1 st.Supervise.cache_hits;
+  Alcotest.(check (float 0.0)) "cached objective is bit-identical" sol.Sdp.primal_obj
+    sol'.Sdp.primal_obj
+
+let test_forked_solve () =
+  let ctx = Supervise.create ~jobs:1 () in
+  let p = small_problem () in
+  let sol = Supervise.solve_sdp ctx ~label:"forked" p in
+  Alcotest.(check bool) "worker result crosses back" true (sol.Sdp.status = Sdp.Optimal);
+  Alcotest.(check int) "one worker forked" 1 (Supervise.stats ctx).Supervise.forked
+
+let test_worker_kill_is_synthetic_failure () =
+  let ctx = Supervise.create ~jobs:1 () in
+  let p = small_problem () in
+  let pf = { Supervise.Fault.kind = Supervise.Fault.Kill; solve = 1; iter = 1 } in
+  let sol = Supervise.solve_sdp ctx ~label:"killed" ~proc_fault:pf p in
+  Alcotest.(check bool) "crash surfaces as Numerical_failure" true
+    (sol.Sdp.status = Sdp.Numerical_failure);
+  Alcotest.(check bool) "synthetic solution is never salvageable" true
+    (sol.Sdp.best_score = Float.infinity);
+  Alcotest.(check int) "crash counted" 1 (Supervise.stats ctx).Supervise.crashes
+
+let test_worker_timeout_reaped () =
+  let ctx = Supervise.create ~jobs:1 ~solve_timeout_s:0.5 () in
+  let p = small_problem () in
+  let pf = { Supervise.Fault.kind = Supervise.Fault.Stall; solve = 1; iter = 1 } in
+  let sol = Supervise.solve_sdp ctx ~label:"stalled" ~proc_fault:pf p in
+  Alcotest.(check bool) "timeout surfaces as Max_iterations" true
+    (sol.Sdp.status = Sdp.Max_iterations);
+  Alcotest.(check int) "timeout counted" 1 (Supervise.stats ctx).Supervise.timeouts
+
+(* ---- pool ---- *)
+
+let test_pool_map_order_and_errors () =
+  let ctx = Supervise.create ~jobs:4 () in
+  let items = [ 1; 2; 3; 4; 5; 6 ] in
+  let f _ x = if x = 4 then failwith "boom" else x * x in
+  let results = Supervise.Pool.map ctx ~f items in
+  Alcotest.(check int) "one result per item" (List.length items) (List.length results);
+  List.iteri
+    (fun i r ->
+      let x = List.nth items i in
+      match r with
+      | Ok y -> Alcotest.(check int) (Printf.sprintf "item %d in order" x) (x * x) y
+      | Error e ->
+          Alcotest.(check int) "only the raising item errors" 4 x;
+          Alcotest.(check bool) "worker exception captured" true
+            (String.length e > 0))
+    results
+
+let test_pool_jobs_equivalence () =
+  let run jobs =
+    let ctx = Supervise.create ~jobs () in
+    Supervise.Pool.map ctx ~f:(fun i x -> (i * 1000) + (x * x)) [ 3; 1; 4; 1; 5 ]
+  in
+  let unpack = List.map (function Ok v -> v | Error e -> Alcotest.fail e) in
+  Alcotest.(check (list int)) "-j1 and -j4 produce identical results"
+    (unpack (run 1)) (unpack (run 4))
+
+let test_interrupt_raises () =
+  let ctx = Supervise.create ~jobs:2 () in
+  Supervise.interrupt ctx;
+  (try
+     ignore (Supervise.solve_sdp ctx ~label:"late" (small_problem ()));
+     Alcotest.fail "interrupted context still solved"
+   with Supervise.Interrupted -> ());
+  try
+    ignore (Supervise.Pool.map ctx ~f:(fun _ x -> x) [ 1 ]);
+    Alcotest.fail "interrupted context still pooled"
+  with Supervise.Interrupted -> ()
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint-stable" `Quick test_fingerprint_stable;
+    Alcotest.test_case "fingerprint-ignores-hooks" `Quick test_fingerprint_ignores_hooks;
+    Alcotest.test_case "cache-roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "cache-missing" `Quick test_cache_missing;
+    Alcotest.test_case "cache-truncation-diagnosed" `Quick test_cache_truncation_diagnosed;
+    Alcotest.test_case "cache-digest-mismatch" `Quick test_cache_digest_mismatch;
+    Alcotest.test_case "journal-tolerant-read" `Quick test_journal_tolerant_read;
+    Alcotest.test_case "journal-missing" `Quick test_journal_missing;
+    Alcotest.test_case "fault-parse" `Quick test_fault_parse;
+    Alcotest.test_case "mixed-plan-parse" `Quick test_mixed_plan_parse;
+    Alcotest.test_case "fault-for-solve" `Quick test_fault_for_solve;
+    Alcotest.test_case "wall-clock-deadline" `Quick test_wall_clock_deadline;
+    Alcotest.test_case "cpu-clock-ignores-wall-source" `Quick test_cpu_clock_ignores_wall_source;
+    Alcotest.test_case "inline-solve-and-cache" `Quick test_inline_solve_and_cache;
+    Alcotest.test_case "forked-solve" `Quick test_forked_solve;
+    Alcotest.test_case "worker-kill-synthetic-failure" `Quick test_worker_kill_is_synthetic_failure;
+    Alcotest.test_case "worker-timeout-reaped" `Quick test_worker_timeout_reaped;
+    Alcotest.test_case "pool-order-and-errors" `Quick test_pool_map_order_and_errors;
+    Alcotest.test_case "pool-jobs-equivalence" `Quick test_pool_jobs_equivalence;
+    Alcotest.test_case "interrupt-raises" `Quick test_interrupt_raises;
+  ]

@@ -12,7 +12,8 @@
                                               solve/cache counters to P
 
    Artifacts: table1 table2 fig2 fig3 fig4 fig5 ablation-reachset
-   ablation-degree ablation-robust ablation-advect extensions kernels.
+   ablation-degree ablation-robust ablation-advect extensions
+   sweep-fast kernels.
 
    Absolute times differ from the paper (different machine, different
    solver); the reproduced shape is: which step dominates the runtime
@@ -320,6 +321,43 @@ let extensions () =
       | Error e -> Format.printf "  start-up safety: %s@." e)
 
 (* ------------------------------------------------------------------ *)
+(* Sweep profile — a small certification atlas (lib/atlas) over the
+   pump-current x VCO-gain plane, exercising the cell pipeline the
+   sweep orchestrator runs at scale. Its cell counters feed the
+   atlas_cells/atlas_certified/atlas_quarantined fields of --json. *)
+
+(* (cells recorded, certified, quarantined) accumulated across runs. *)
+let atlas_counters = ref (0, 0, 0)
+
+let sweep_fast () =
+  sect "Sweep: fast certification atlas (3rd order, degree 4, 2x2 grid)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pll-bench-atlas-%d" (Unix.getpid ()))
+  in
+  let ctx = Supervise.create ~run_dir:dir ~jobs:2 () in
+  let job =
+    {
+      (Atlas.default_job Pll.Third) with
+      Atlas.degree = 4;
+      bisect_steps = 4;
+      max_subdiv = 1;
+    }
+  in
+  match Atlas.Grid.parse "ip=0.9:1.1:2,kv=0.95:1.05:2" with
+  | Error e -> failwith e
+  | Ok grid -> (
+      match Atlas.run ~ctx ~resume:false job grid with
+      | Error e -> failwith ("atlas sweep failed: " ^ e)
+      | Ok report ->
+          let c0, ce0, q0 = !atlas_counters in
+          atlas_counters :=
+            ( c0 + List.length report.Atlas.records,
+              ce0 + report.Atlas.certified,
+              q0 + report.Atlas.quarantined );
+          Format.printf "%a@." Atlas.pp_summary report)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the numerical kernels.                 *)
 
 let kernels () =
@@ -401,12 +439,16 @@ type row = {
   solves : int;
   cache_hits : int;
   cache_stores : int;
+  atlas_cells : int;
+  atlas_certified : int;
+  atlas_quarantined : int;
 }
 
 let row_to_json r =
   Printf.sprintf
-    "{\"name\":\"%s\",\"wall_s\":%.3f,\"cpu_s\":%.3f,\"solves\":%d,\"cache_hits\":%d,\"cache_stores\":%d}"
-    r.name r.wall_s r.cpu_s r.solves r.cache_hits r.cache_stores
+    "{\"name\":\"%s\",\"wall_s\":%.3f,\"cpu_s\":%.3f,\"solves\":%d,\"cache_hits\":%d,\"cache_stores\":%d,\"atlas_cells\":%d,\"atlas_certified\":%d,\"atlas_quarantined\":%d}"
+    r.name r.wall_s r.cpu_s r.solves r.cache_hits r.cache_stores r.atlas_cells
+    r.atlas_certified r.atlas_quarantined
 
 let instrument rows (name, f) =
   ( name,
@@ -419,6 +461,7 @@ let instrument rows (name, f) =
         | None -> (0, 0)
       in
       let solves0 = Sdp.solve_count () in
+      let ac0, ace0, aq0 = !atlas_counters in
       let w0 = Unix.gettimeofday () and c0 = Sys.time () in
       f ();
       let hits1, stores1 =
@@ -428,6 +471,7 @@ let instrument rows (name, f) =
             (s.Supervise.cache_hits, s.Supervise.cache_stores)
         | None -> (0, 0)
       in
+      let ac1, ace1, aq1 = !atlas_counters in
       rows :=
         {
           name;
@@ -436,6 +480,9 @@ let instrument rows (name, f) =
           solves = Sdp.solve_count () - solves0;
           cache_hits = hits1 - hits0;
           cache_stores = stores1 - stores0;
+          atlas_cells = ac1 - ac0;
+          atlas_certified = ace1 - ace0;
+          atlas_quarantined = aq1 - aq0;
         }
         :: !rows )
 
@@ -479,6 +526,7 @@ let () =
       ("ablation-robust", ablation_robust);
       ("ablation-advect", ablation_advect);
       ("extensions", extensions);
+      ("sweep-fast", sweep_fast);
       ("kernels", kernels);
     ]
   in

@@ -6,7 +6,14 @@
 #     _build artifact may actually be tracked;
 #  2. every library module must have an interface — each lib/*/<m>.ml
 #     needs a lib/*/<m>.mli, so library surfaces stay documented and
-#     deliberate.
+#     deliberate;
+#  3. CLI resumability must stay coherent — any bin/*.ml that documents
+#     --run-dir must document --resume and vice versa (a driver with
+#     persistent state but no resume story, or the reverse, is a doc
+#     bug);
+#  4. the bench --json schema must keep the atlas cell counters
+#     (atlas_cells / atlas_certified / atlas_quarantined), which
+#     downstream tooling reads from BENCH_*.json.
 #
 # Wired into `dune runtest` from test/dune; also runnable standalone:
 #
@@ -26,6 +33,25 @@ for ml in "$repo"/lib/*/*.ml; do
   [ -f "${ml%.ml}.mli" ] || missing="$missing ${ml#"$repo"/}"
 done
 [ -z "$missing" ] || fail "library modules without an .mli:$missing"
+
+# CLI run-dir/resume doc coherence (check 3).
+for ml in "$repo"/bin/*.ml; do
+  [ -e "$ml" ] || continue
+  has_run_dir=0; has_resume=0
+  grep -q -- '"run-dir"' "$ml" && has_run_dir=1
+  grep -q -- '"resume"' "$ml" && has_resume=1
+  [ "$has_run_dir" = "$has_resume" ] || \
+    fail "${ml#"$repo"/} documents only one of --run-dir/--resume; a persistent driver must offer both"
+done
+
+# Bench atlas counters (check 4).
+bench="$repo/bench/main.ml"
+if [ -f "$bench" ]; then
+  for field in atlas_cells atlas_certified atlas_quarantined; do
+    grep -q "$field" "$bench" || \
+      fail "bench/main.ml --json schema lost the $field counter"
+  done
+fi
 
 if command -v git >/dev/null 2>&1; then
   root="$(git rev-parse --show-toplevel 2>/dev/null || true)"

@@ -2,7 +2,12 @@
 
      dune exec bin/verify_pll.exe -- --order third --degree 4
      dune exec bin/verify_pll.exe -- --order fourth --validate
-     dune exec bin/verify_pll.exe -- --order third --robust -v *)
+     dune exec bin/verify_pll.exe -- --order third --robust -v
+
+   Exit codes: 0 = inevitability verified; 2 = pipeline completed but
+   the property was not established; 1 = pipeline/setup failure;
+   130 = interrupted (checkpoint saved — resume with --resume);
+   124 = usage error. *)
 
 open Cmdliner
 
@@ -10,8 +15,10 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
+let cli_error = 124
+
 let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder deadline
-    fault_plan jobs run_dir resume solve_timeout mem_limit verbose =
+    fault_plan jobs run_dir resume lock_wait solve_timeout mem_limit verbose =
   setup_logs verbose;
   let raw, default_degree =
     match order with
@@ -33,7 +40,7 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
   in
   match
     (* Parse the resilience options up front so a bad spec is a usage
-       error (exit 2), not a late failure. *)
+       error (exit 124), not a late failure. *)
     let ( let* ) = Result.bind in
     let* ladder = Resilient.ladder_of_string retry_ladder in
     let* faults = Resilient.Faults.of_string fault_plan in
@@ -63,8 +70,41 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
   with
   | Error e ->
       Format.eprintf "verify_pll: %s@." e;
-      2
+      cli_error
   | Ok (resilience, supervise) -> (
+      (* Run-dir hygiene: an advisory lock so two processes sharing the
+         directory cannot interleave cache writes, and a configuration
+         fingerprint so --resume with problem-changing arguments is
+         refused instead of silently mixing cache entries. *)
+      let guarded =
+        match Option.bind supervise Supervise.run_dir with
+        | None -> Ok ()
+        | Some dir -> (
+            match Supervise.Lock.acquire ~dir ~wait_s:lock_wait () with
+            | Error diag ->
+                Format.eprintf "verify_pll: %s@." diag;
+                Error ()
+            | Ok _ -> (
+                let fingerprint =
+                  Printf.sprintf
+                    "pll-verify v1 order=%s degree=%d robust=%b advect-iters=%d \
+                     psd-tol=%h eq-tol=%h"
+                    (match order with `Third -> "third" | `Fourth -> "fourth")
+                    degree robust advect_iters cert_config.Certificates.psd_tol
+                    cert_config.Certificates.eq_tol
+                in
+                match
+                  Supervise.Config_guard.check ~run_dir:dir ~fingerprint
+                    ~summary:fingerprint
+                with
+                | Error diag ->
+                    Format.eprintf "verify_pll: %s@." diag;
+                    Error ()
+                | Ok _ -> Ok ()))
+      in
+      match guarded with
+      | Error () -> 1
+      | Ok () -> (
       (match supervise with
       | Some ctx ->
           Supervise.install_signal_handlers ctx;
@@ -136,8 +176,8 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
       end
       else begin
         Format.printf "inevitability of phase-locking: NOT established@.";
-        1
-      end)
+        2
+      end))
 
 let order =
   let order_conv = Arg.enum [ ("third", `Third); ("fourth", `Fourth) ] in
@@ -217,6 +257,12 @@ let resume =
                requests hash to cached results are replayed from the cache instead of \
                re-solved. Implies $(b,--run-dir) DIR.")
 
+let lock_wait =
+  Arg.(value & opt float 0.0 & info [ "lock-wait" ] ~docv:"SEC"
+         ~doc:"How long to wait for another live process's lock on the run directory \
+               before failing (default 0: fail fast with a structured diagnosis). \
+               Stale locks left by dead processes are stolen immediately.")
+
 let solve_timeout =
   Arg.(value & opt (some float) None & info [ "solve-timeout" ] ~docv:"SEC"
          ~doc:"Wall-clock budget per supervised solve worker; a worker past it is \
@@ -237,7 +283,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ order $ degree $ robust $ advect_iters $ validate $ psd_tol $ eq_tol
-      $ retry_ladder $ deadline $ fault_plan $ jobs $ run_dir_arg $ resume
+      $ retry_ladder $ deadline $ fault_plan $ jobs $ run_dir_arg $ resume $ lock_wait
       $ solve_timeout $ mem_limit $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,897 @@
+(* Fault-tolerant certification atlas over the Table-1 parameter space.
+
+   Layering: each cell gets a fresh Resilient policy wired to the shared
+   Supervise context, so per-solve isolation / caching / journaling come
+   from the existing stack. This module owns only sweep-level state: the
+   cell tree (grid cells and their subdivision descendants), the
+   write-ahead ledger that makes the tree restartable, quarantine, and
+   the deterministic atlas report.
+
+   Determinism contract (the smoke tests compare atlas.json bytes across
+   -j 1 / -j N / killed-and-resumed runs): everything that reaches
+   report_json must depend only on the job, the grid and the solver's
+   deterministic answers — never on wall-clock, pids, paths, job count
+   or replay history. Timing lives in the ledger and the human summary
+   only; quarantine details are synthesized from deterministic journal
+   labels, not from raw error strings (which embed attempt timings). *)
+
+let src = Logs.Src.create "atlas" ~doc:"certification atlas sweep"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ----------------------------------------------------------------- *)
+(* Grid *)
+
+module Grid = struct
+  type range = { axis : Pll.axis; lo : float; hi : float; n : int }
+  type t = range list
+
+  let parse_range tok =
+    match String.index_opt tok '=' with
+    | None -> Error (Printf.sprintf "grid entry %S: expected axis=LO:HI[:N]" tok)
+    | Some i -> (
+        let name = String.sub tok 0 i in
+        let rest = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match Pll.axis_of_string name with
+        | Error e -> Error e
+        | Ok axis -> (
+            let float_field s =
+              match float_of_string_opt s with
+              | Some f when f > 0.0 -> Ok f
+              | _ -> Error (Printf.sprintf "grid entry %S: bad positive factor %S" tok s)
+            in
+            let ( let* ) = Result.bind in
+            match String.split_on_char ':' rest with
+            | [ v ] ->
+                let* v = float_field v in
+                Ok { axis; lo = v; hi = v; n = 1 }
+            | [ lo; hi ] | [ lo; hi; "" ] ->
+                let* lo = float_field lo in
+                let* hi = float_field hi in
+                if lo > hi then Error (Printf.sprintf "grid entry %S: LO > HI" tok)
+                else Ok { axis; lo; hi; n = 1 }
+            | [ lo; hi; n ] -> (
+                let* lo = float_field lo in
+                let* hi = float_field hi in
+                if lo > hi then Error (Printf.sprintf "grid entry %S: LO > HI" tok)
+                else
+                  match int_of_string_opt n with
+                  | Some n when n >= 1 -> Ok { axis; lo; hi; n }
+                  | _ -> Error (Printf.sprintf "grid entry %S: bad cell count %S" tok n))
+            | _ -> Error (Printf.sprintf "grid entry %S: expected axis=LO:HI[:N]" tok)))
+
+  let parse s =
+    let toks =
+      String.split_on_char ',' (String.trim s)
+      |> List.map String.trim
+      |> List.filter (fun t -> t <> "")
+    in
+    if toks = [] then Error "empty grid spec"
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | tok :: rest -> (
+            match parse_range tok with
+            | Error e -> Error e
+            | Ok r ->
+                if List.exists (fun (r' : range) -> r'.axis = r.axis) acc then
+                  Error
+                    (Printf.sprintf "grid axis %s given twice" (Pll.axis_name r.axis))
+                else go (r :: acc) rest)
+      in
+      go [] toks
+
+  let range_to_string (r : range) =
+    if r.lo = r.hi && r.n = 1 then
+      Printf.sprintf "%s=%g" (Pll.axis_name r.axis) r.lo
+    else Printf.sprintf "%s=%g:%g:%d" (Pll.axis_name r.axis) r.lo r.hi r.n
+
+  let to_string t = String.concat "," (List.map range_to_string t)
+  let n_cells t = List.fold_left (fun acc (r : range) -> acc * r.n) 1 t
+end
+
+(* ----------------------------------------------------------------- *)
+(* Cells *)
+
+type cell = { id : string; depth : int; box : (Pll.axis * float * float) list }
+
+let grid_cells (grid : Grid.t) =
+  (* Cartesian product of per-axis index ranges, id = "c" ^ indices. *)
+  let rec expand = function
+    | [] -> [ ([], []) ]
+    | (r : Grid.range) :: rest ->
+        let tails = expand rest in
+        List.concat_map
+          (fun i ->
+            let w = (r.hi -. r.lo) /. float_of_int r.n in
+            let lo = r.lo +. (float_of_int i *. w) in
+            let hi = if i = r.n - 1 then r.hi else r.lo +. (float_of_int (i + 1) *. w) in
+            List.map
+              (fun (idx, box) -> (string_of_int i :: idx, (r.axis, lo, hi) :: box))
+              tails)
+          (List.init r.n Fun.id)
+  in
+  expand grid
+  |> List.map (fun (idx, box) ->
+         { id = "c" ^ String.concat "-" idx; depth = 0; box })
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let split (c : cell) =
+  let width (_, lo, hi) = hi -. lo in
+  match c.box with
+  | [] -> None
+  | first :: _ ->
+      let widest = List.fold_left (fun w a -> if width a > width w then a else w) first c.box in
+      if width widest <= 1e-9 then None
+      else
+        let ax, lo, hi = widest in
+        let mid = 0.5 *. (lo +. hi) in
+        let replace box lo' hi' =
+          List.map (fun ((a, _, _) as e) -> if a = ax then (a, lo', hi') else e) box
+        in
+        Some
+          ( { id = c.id ^ ".0"; depth = c.depth + 1; box = replace c.box lo mid },
+            { id = c.id ^ ".1"; depth = c.depth + 1; box = replace c.box mid hi } )
+
+(* ----------------------------------------------------------------- *)
+(* Diagnoses, jobs *)
+
+type diagnosis = { kind : string; detail : string }
+
+type cell_result =
+  | Certified of { beta : float }
+  | Subdivided
+  | Quarantined of diagnosis
+
+type job = {
+  order : Pll.order;
+  degree : int;
+  robust : bool;
+  full : bool;
+  exact : bool;
+  bisect_steps : int;
+  max_subdiv : int;
+  cell_budget_s : float option;
+}
+
+let default_job order =
+  {
+    order;
+    degree = (match order with Pll.Third -> 6 | Pll.Fourth -> 4);
+    robust = false;
+    full = false;
+    exact = false;
+    bisect_steps = 6;
+    max_subdiv = 2;
+    cell_budget_s = None;
+  }
+
+let order_name = function Pll.Third -> "third" | Pll.Fourth -> "fourth"
+
+let fingerprint (job : job) grid =
+  Printf.sprintf
+    "pll-atlas v1 grid=%s order=%s degree=%d robust=%b full=%b exact=%b bisect=%d \
+     max-subdiv=%d"
+    (Grid.to_string grid) (order_name job.order) job.degree job.robust job.full
+    job.exact job.bisect_steps job.max_subdiv
+
+(* ----------------------------------------------------------------- *)
+(* Fault plans *)
+
+module Fault = struct
+  type t =
+    | Kill_at_cell of string
+    | Fail_cell of string
+    | Cell_scoped of string * string
+    | Global of string
+
+  type plan = t list
+
+  let none = []
+  let starts ~p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+  let parse_tok tok =
+    match String.index_opt tok '/' with
+    | Some i -> (
+        let cell = String.sub tok 0 i in
+        let rest = String.sub tok (i + 1) (String.length tok - i - 1) in
+        if cell = "" || rest = "" then
+          Error (Printf.sprintf "fault %S: expected CELL/token" tok)
+        else
+          match Resilient.Faults.of_string rest with
+          | Ok p when not (Resilient.Faults.is_empty p) -> Ok (Cell_scoped (cell, rest))
+          | Ok _ -> Error (Printf.sprintf "fault %S: empty cell-scoped token" tok)
+          | Error e -> Error (Printf.sprintf "fault %S: %s" tok e))
+    | None ->
+        if starts ~p:"fail-cell@" tok then begin
+          let cell = String.sub tok 10 (String.length tok - 10) in
+          if cell = "" then Error (Printf.sprintf "fault %S: missing cell id" tok)
+          else Ok (Fail_cell cell)
+        end
+        else
+          (* [kill@S:I] stays a process-level worker fault; [kill@CELL]
+             (anything that does not parse as a solve trigger) is the
+             orchestrator kill. *)
+          let as_resilient () =
+            match Resilient.Faults.of_string tok with
+            | Ok p when not (Resilient.Faults.is_empty p) -> Some (Global tok)
+            | _ -> None
+          in
+          (match as_resilient () with
+          | Some g -> Ok g
+          | None ->
+              if starts ~p:"kill@" tok then begin
+                let cell = String.sub tok 5 (String.length tok - 5) in
+                if cell = "" then Error (Printf.sprintf "fault %S: missing cell id" tok)
+                else Ok (Kill_at_cell cell)
+              end
+              else
+                Error
+                  (Printf.sprintf
+                     "fault %S: not a solver fault, kill@CELL, fail-cell@CELL or \
+                      CELL/token"
+                     tok))
+
+  let of_string s =
+    let s = String.trim s in
+    if s = "" || s = "none" then Ok none
+    else
+      let toks =
+        String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | tok :: rest -> (
+            match parse_tok tok with Error e -> Error e | Ok t -> go (t :: acc) rest)
+      in
+      go [] toks
+
+  let tok_to_string = function
+    | Kill_at_cell c -> "kill@" ^ c
+    | Fail_cell c -> "fail-cell@" ^ c
+    | Cell_scoped (c, t) -> c ^ "/" ^ t
+    | Global t -> t
+
+  let to_string plan =
+    if plan = [] then "none" else String.concat "," (List.map tok_to_string plan)
+
+  let fail_cell plan id =
+    List.exists
+      (function
+        | Fail_cell p -> p = id || starts ~p:(p ^ ".") id
+        | _ -> false)
+      plan
+
+  let kill_after plan id =
+    List.exists (function Kill_at_cell k -> k = id | _ -> false) plan
+
+  let resilient_plan plan id =
+    let toks =
+      List.filter_map
+        (function
+          | Global t -> Some t
+          | Cell_scoped (c, t) when c = id -> Some t
+          | _ -> None)
+        plan
+    in
+    match Resilient.Faults.of_string (String.concat "," toks) with
+    | Ok p -> p
+    | Error _ -> Resilient.Faults.none ()
+end
+
+(* ----------------------------------------------------------------- *)
+(* Records and reports *)
+
+type record = {
+  cell : cell;
+  result : cell_result;
+  replayed : bool;
+  solves : int;
+  attempts : int;
+  attempt_s : float;
+}
+
+type report = {
+  job : job;
+  grid : Grid.t;
+  records : record list;
+  certified : int;
+  subdivided : int;
+  quarantined : int;
+  replayed_cells : int;
+  wall_s : float;
+}
+
+let certified_fraction r =
+  let leaves = r.certified + r.quarantined in
+  if leaves = 0 then 0.0 else float_of_int r.certified /. float_of_int leaves
+
+let depth_histogram r =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun rec_ ->
+      let d = rec_.cell.depth in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    r.records;
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl [] |> List.sort compare
+
+let quarantine_list r =
+  List.filter_map
+    (fun rec_ ->
+      match rec_.result with
+      | Quarantined d -> Some (rec_.cell.id, d)
+      | _ -> None)
+    r.records
+
+let exit_code r = if r.quarantined > 0 then 2 else 0
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_json r =
+  (* Deterministic: no wall-clock, no replay/solve counts, no paths. *)
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\"atlas\":\"v1\"";
+  add ",\"grid\":\"%s\"" (json_escape (Grid.to_string r.grid));
+  add ",\"order\":\"%s\",\"degree\":%d,\"robust\":%b,\"full\":%b,\"exact\":%b"
+    (order_name r.job.order) r.job.degree r.job.robust r.job.full r.job.exact;
+  add ",\"bisect_steps\":%d,\"max_subdiv\":%d" r.job.bisect_steps r.job.max_subdiv;
+  add ",\"cells_total\":%d,\"certified\":%d,\"subdivided\":%d,\"quarantined\":%d"
+    (List.length r.records) r.certified r.subdivided r.quarantined;
+  add ",\"certified_fraction\":%.6f" (certified_fraction r);
+  add ",\"depth_histogram\":[%s]"
+    (String.concat ","
+       (List.map
+          (fun (d, n) -> Printf.sprintf "{\"depth\":%d,\"cells\":%d}" d n)
+          (depth_histogram r)));
+  add ",\"cells\":[";
+  List.iteri
+    (fun i rec_ ->
+      if i > 0 then add ",";
+      add "{\"id\":\"%s\",\"depth\":%d,\"box\":{" (json_escape rec_.cell.id)
+        rec_.cell.depth;
+      List.iteri
+        (fun j (ax, lo, hi) ->
+          if j > 0 then add ",";
+          add "\"%s\":[%.17g,%.17g]" (Pll.axis_name ax) lo hi)
+        rec_.cell.box;
+      add "}";
+      (match rec_.result with
+      | Certified { beta } -> add ",\"status\":\"certified\",\"beta\":%.17g" beta
+      | Subdivided -> add ",\"status\":\"subdivided\""
+      | Quarantined d ->
+          add ",\"status\":\"quarantined\",\"diagnosis\":{\"kind\":\"%s\",\"detail\":\"%s\"}"
+            (json_escape d.kind) (json_escape d.detail));
+      add "}")
+    r.records;
+  add "]";
+  add ",\"quarantine\":[%s]"
+    (String.concat ","
+       (List.map (fun (id, _) -> Printf.sprintf "\"%s\"" (json_escape id)) (quarantine_list r)));
+  add "}";
+  Buffer.contents b
+
+let pp_summary ppf r =
+  let open Format in
+  fprintf ppf "@[<v>certification atlas: %s order, degree %d, grid %s%s@,"
+    (order_name r.job.order) r.job.degree (Grid.to_string r.grid)
+    (if r.job.robust then " (robust: whole-box cells)" else " (cell midpoints)");
+  fprintf ppf "cells: %d recorded | %d certified, %d subdivided, %d quarantined@,"
+    (List.length r.records) r.certified r.subdivided r.quarantined;
+  fprintf ppf "certified fraction (leaves): %.1f%%@," (100.0 *. certified_fraction r);
+  fprintf ppf "subdivision depth histogram: %s@,"
+    (String.concat ", "
+       (List.map (fun (d, n) -> Printf.sprintf "depth %d: %d" d n) (depth_histogram r)));
+  let solves = List.fold_left (fun acc x -> acc + x.solves) 0 r.records in
+  let attempt_s = List.fold_left (fun acc x -> acc +. x.attempt_s) 0.0 r.records in
+  fprintf ppf "work: %d solve(s), %.1fs attempt time, %d cell(s) replayed from ledger@,"
+    solves attempt_s r.replayed_cells;
+  (match quarantine_list r with
+  | [] -> fprintf ppf "quarantine: empty@,"
+  | q ->
+      fprintf ppf "quarantine:@,";
+      List.iter
+        (fun (id, d) -> fprintf ppf "  %s: %s (%s)@," id d.kind d.detail)
+        q);
+  fprintf ppf "wall time: %.1fs@]" r.wall_s
+
+(* ----------------------------------------------------------------- *)
+(* Ledger *)
+
+module Ledger = struct
+  type entry = {
+    id : string;
+    depth : int;
+    result : cell_result;
+    solves : int;
+    attempts : int;
+    attempt_s : float;
+  }
+
+  let magic = "pll-atlas-ledger v1"
+  let path dir = Filename.concat dir "ledger.log"
+
+  let append_line file line =
+    let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let payload =
+          if (Unix.fstat fd).Unix.st_size = 0 then magic ^ "\n" ^ line else line
+        in
+        let b = Bytes.of_string payload in
+        let len = Bytes.length b in
+        let rec wr off = if off < len then wr (off + Unix.write fd b off (len - off)) in
+        wr 0;
+        Unix.fsync fd)
+
+  let status_str = function
+    | Certified _ -> "certified"
+    | Subdivided -> "subdivided"
+    | Quarantined _ -> "quarantined"
+
+  let entry_line (e : entry) =
+    let beta = match e.result with Certified { beta } -> beta | _ -> 0.0 in
+    let kind, detail =
+      match e.result with Quarantined d -> (d.kind, d.detail) | _ -> ("-", "")
+    in
+    (* %h floats round-trip exactly through float_of_string. *)
+    Printf.sprintf "done %s %d %s %h %d %d %h %s %s\n" e.id e.depth
+      (status_str e.result) beta e.solves e.attempts e.attempt_s kind detail
+
+  let append dir e = append_line (path dir) (entry_line e)
+  let mark_start dir id = append_line (path dir) (Printf.sprintf "start %s\n" id)
+
+  let parse_done line =
+    match String.split_on_char ' ' line with
+    | "done" :: id :: depth :: status :: beta :: solves :: attempts :: attempt_s :: rest
+      -> (
+        let kind, detail =
+          match rest with
+          | [] -> ("-", "")
+          | k :: d -> (k, String.concat " " d)
+        in
+        match
+          ( int_of_string_opt depth,
+            float_of_string_opt beta,
+            int_of_string_opt solves,
+            int_of_string_opt attempts,
+            float_of_string_opt attempt_s )
+        with
+        | Some depth, Some beta, Some solves, Some attempts, Some attempt_s -> (
+            let mk result = Ok { id; depth; result; solves; attempts; attempt_s } in
+            match status with
+            | "certified" -> mk (Certified { beta })
+            | "subdivided" -> mk Subdivided
+            | "quarantined" -> mk (Quarantined { kind; detail })
+            | s -> Error (Printf.sprintf "unknown cell status %S" s))
+        | _ -> Error "unparseable numeric field")
+    | _ -> Error "malformed done line"
+
+  let read dir =
+    let file = path dir in
+    if not (Sys.file_exists file) then ([], [])
+    else begin
+      let ic = open_in file in
+      let entries = Hashtbl.create 64 in
+      let order = ref [] in
+      let diags = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           if
+             line = "" || line = magic
+             || Fault.starts ~p:"start " line
+             || Fault.starts ~p:"run " line
+           then ()
+           else
+             match parse_done line with
+             | Ok e ->
+                 if not (Hashtbl.mem entries e.id) then order := e.id :: !order;
+                 Hashtbl.replace entries e.id e
+             | Error why ->
+                 diags :=
+                   Printf.sprintf "ledger line %d: %s (%S)" !lineno why line :: !diags
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let es = List.rev_map (fun id -> Hashtbl.find entries id) !order in
+      (es, List.rev !diags)
+    end
+end
+
+(* ----------------------------------------------------------------- *)
+(* Per-cell certification (runs inside pool workers) *)
+
+(* Marshal-safe result a worker sends back to the orchestrator. *)
+type probe = {
+  p_ok : bool;
+  p_beta : float;
+  p_kind : string;  (* deterministic diagnosis kind when not ok *)
+  p_detail : string;  (* deterministic short detail *)
+  p_full : string;  (* full JSON journal (may carry timings) *)
+  p_solves : int;
+  p_attempts : int;
+  p_attempt_s : float;
+}
+
+let probe_fail ?(full = "") ~kind ~detail () =
+  {
+    p_ok = false;
+    p_beta = 0.0;
+    p_kind = kind;
+    p_detail = detail;
+    p_full = (if full = "" then Printf.sprintf "{\"error\":\"%s\"}" (json_escape detail) else full);
+    p_solves = 0;
+    p_attempts = 0;
+    p_attempt_s = 0.0;
+  }
+
+let build_raw (job : job) (c : cell) =
+  let base = match job.order with Pll.Third -> Pll.table1_third | Pll.Fourth -> Pll.table1_fourth in
+  List.fold_left
+    (fun acc (ax, lo, hi) ->
+      Result.bind acc (fun raw ->
+          if job.robust then Pll.set_axis_relative raw ax ~lo ~hi
+          else
+            let m = 0.5 *. (lo +. hi) in
+            Pll.set_axis_relative raw ax ~lo:m ~hi:m))
+    (Ok base) c.box
+
+(* Classify a failed cell from the policy's journal. Deterministic: only
+   labels and statuses, never timings or raw error strings. *)
+let classify policy =
+  if Resilient.out_of_time policy then ("budget-exhausted", "per-cell budget exhausted")
+  else
+    let fails = Resilient.failures policy in
+    if fails = [] then
+      (* The certificate search journals every failure it escalates, so an
+         error with a clean journal is the level maximization finding no
+         positive certified level. *)
+      ("level-collapse", "certificate found but no positive level certifies")
+    else
+    let label =
+      match List.rev fails with
+      | [] -> "certificate search"
+      | d :: _ -> d.Resilient.label
+    in
+    let infeasible =
+      List.exists
+        (fun (d : Resilient.diagnosis) ->
+          List.exists
+            (fun (a : Resilient.attempt) ->
+              match a.Resilient.status with
+              | Sdp.Primal_infeasible | Sdp.Dual_infeasible -> true
+              | _ -> false)
+            d.Resilient.attempts)
+        fails
+    in
+    if infeasible then ("infeasible", "conclusively infeasible at " ^ label)
+    else ("solver-failure", "solver failed at " ^ label)
+
+let with_budget policy (p : probe) =
+  let b = Resilient.consumed policy in
+  {
+    p with
+    p_solves = b.Resilient.solves;
+    p_attempts = b.Resilient.attempts;
+    p_attempt_s = b.Resilient.attempt_s;
+  }
+
+let certify_cell ~ctx ~faults (job : job) (c : cell) =
+  if Fault.fail_cell faults c.id then
+    probe_fail ~kind:"injected" ~detail:"fail-cell fault injected" ()
+  else
+    match build_raw job c with
+    | Error e -> probe_fail ~kind:"bad-cell" ~detail:e ()
+    | Ok raw -> (
+        let s = Pll.scale raw in
+        let policy =
+          Resilient.make
+            ~faults:(Fault.resilient_plan faults c.id)
+            ?pipeline_deadline_s:job.cell_budget_s ~supervise:ctx ()
+        in
+        let base = Certificates.default_config s.Pll.order in
+        let cfg =
+          {
+            base with
+            Certificates.degree = job.degree;
+            robust_vertices = job.robust;
+            resilience = policy;
+          }
+        in
+        let fail ~kind ~detail =
+          with_budget policy
+            (probe_fail ~full:(Resilient.report_json policy) ~kind ~detail ())
+        in
+        let classified () =
+          let kind, detail = classify policy in
+          fail ~kind ~detail
+        in
+        let certified beta =
+          with_budget policy
+            {
+              p_ok = true;
+              p_beta = beta;
+              p_kind = "";
+              p_detail = "";
+              p_full = "";
+              p_solves = 0;
+              p_attempts = 0;
+              p_attempt_s = 0.0;
+            }
+        in
+        (* Exact re-validation gate: a certified cell only counts when the
+           exact kernel re-proves it; the artifact lands in artifacts/ under
+           a per-cell name (check_cert replays it). The validation solves
+           run without the supervisor so their solutions stay in-process. *)
+        let exact_gate cert beta =
+          if not job.exact then certified beta
+          else
+            let cert' =
+              {
+                cert with
+                Certificates.cfg =
+                  {
+                    cert.Certificates.cfg with
+                    Certificates.resilience = Resilient.with_supervisor policy None;
+                  };
+              }
+            in
+            match Certificates.validate_exactly s cert' with
+            | Ok ev when ev.Certificates.all_proven ->
+                ignore
+                  (Supervise.save_artifact ctx
+                     ~name:(Printf.sprintf "cell-%s.artifact" c.id)
+                     (Exact.Artifact.write ev.Certificates.artifact));
+                certified beta
+            | Ok ev ->
+                let failed =
+                  List.filter_map
+                    (fun (name, v) ->
+                      match v with Exact.Check.Proven _ -> None | _ -> Some name)
+                    ev.Certificates.verdicts
+                in
+                fail ~kind:"exact-unproven"
+                  ~detail:("exact kernel could not prove: " ^ String.concat ", " failed)
+            | Error _ ->
+                fail ~kind:"exact-unproven" ~detail:"exact re-validation solve failed"
+        in
+        try
+          if job.full then
+            match
+              Pll_core.Inevitability.verify ~cert_config:cfg ~resilience:policy s
+            with
+            | Ok report when report.Pll_core.Inevitability.verified ->
+                let inv = report.Pll_core.Inevitability.invariant in
+                exact_gate inv.Certificates.cert inv.Certificates.beta
+            | Ok _ ->
+                if Resilient.failures policy <> [] || Resilient.out_of_time policy then
+                  classified ()
+                else
+                  fail ~kind:"not-established"
+                    ~detail:"pipeline completed but P1 and P2 not both established"
+            | Error _ -> classified ()
+          else
+            match
+              Certificates.attractive_invariant ~config:cfg
+                ~bisect_steps:job.bisect_steps s
+            with
+            | Ok ai when ai.Certificates.beta > 0.0 ->
+                exact_gate ai.Certificates.cert ai.Certificates.beta
+            | Ok _ ->
+                fail ~kind:"level-collapse"
+                  ~detail:"certificate found but no positive level certifies"
+            | Error _ -> classified ()
+        with
+        | Supervise.Interrupted as i -> raise i
+        | e -> fail ~kind:"crash" ~detail:(Printexc.to_string e))
+
+(* ----------------------------------------------------------------- *)
+(* Orchestration *)
+
+let write_file path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let mkdir_p dir = try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let rec take n = function
+  | [] -> ([], [])
+  | l when n = 0 -> ([], l)
+  | x :: rest ->
+      let a, b = take (n - 1) rest in
+      (x :: a, b)
+
+let validate_grid (job : job) (grid : Grid.t) =
+  let base = match job.order with Pll.Third -> Pll.table1_third | Pll.Fourth -> Pll.table1_fourth in
+  let bad =
+    List.filter_map
+      (fun (r : Grid.range) ->
+        match Pll.axis_interval base r.axis with
+        | Some _ -> None
+        | None -> Some (Pll.axis_name r.axis))
+      grid
+  in
+  if grid = [] then Error "empty grid"
+  else if bad <> [] then
+    Error
+      (Printf.sprintf "grid axes %s do not exist at %s order"
+         (String.concat ", " bad) (order_name job.order))
+  else Ok ()
+
+let run ~ctx ?(faults = Fault.none) ~resume (job : job) (grid : Grid.t) =
+  match validate_grid job grid with
+  | Error e -> Error e
+  | Ok () -> (
+      let t0 = Unix.gettimeofday () in
+      let run_dir = Supervise.run_dir ctx in
+      let ledger, ledger_diags =
+        match run_dir with Some d -> Ledger.read d | None -> ([], [])
+      in
+      List.iter (fun d -> Log.warn (fun m -> m "%s" d)) ledger_diags;
+      if (not resume) && ledger <> [] then
+        Error
+          (Printf.sprintf
+             "run directory already holds an atlas ledger with %d cell(s); pass \
+              --resume to continue it, or use a fresh --run-dir"
+             (List.length ledger))
+      else begin
+        let on_record = Hashtbl.create 64 in
+        List.iter (fun (e : Ledger.entry) -> Hashtbl.replace on_record e.Ledger.id e) ledger;
+        let records = ref [] in
+        let push cell result ~replayed ~solves ~attempts ~attempt_s next =
+          records := { cell; result; replayed; solves; attempts; attempt_s } :: !records;
+          match result with
+          | Subdivided -> (
+              match split cell with
+              | Some (a, b) -> next := b :: a :: !next
+              | None ->
+                  (* A ledger claims a subdivision this geometry cannot
+                     perform — record the inconsistency, keep sweeping. *)
+                  records :=
+                    {
+                      cell;
+                      result =
+                        Quarantined
+                          {
+                            kind = "ledger-inconsistent";
+                            detail = "ledgered as subdivided but cell is a point";
+                          };
+                      replayed;
+                      solves;
+                      attempts;
+                      attempt_s;
+                    }
+                  :: List.tl !records)
+          | _ -> ()
+        in
+        let jobs_n = max 1 (Supervise.jobs ctx) in
+        let rec waves frontier =
+          if frontier <> [] then begin
+            let frontier = List.sort (fun a b -> compare a.id b.id) frontier in
+            let next = ref [] in
+            let replayed_cells, fresh =
+              List.partition (fun c -> Hashtbl.mem on_record c.id) frontier
+            in
+            List.iter
+              (fun c ->
+                let e : Ledger.entry = Hashtbl.find on_record c.id in
+                push c e.Ledger.result ~replayed:true ~solves:e.Ledger.solves
+                  ~attempts:e.Ledger.attempts ~attempt_s:e.Ledger.attempt_s next)
+              replayed_cells;
+            if replayed_cells <> [] then
+              Log.info (fun m ->
+                  m "replayed %d cell(s) from the ledger" (List.length replayed_cells));
+            let rec chunks = function
+              | [] -> ()
+              | todo ->
+                  let chunk, rest = take jobs_n todo in
+                  Option.iter
+                    (fun d -> List.iter (fun c -> Ledger.mark_start d c.id) chunk)
+                    run_dir;
+                  let results =
+                    Supervise.Pool.map ctx
+                      ~f:(fun _ c -> certify_cell ~ctx ~faults job c)
+                      chunk
+                  in
+                  List.iter2
+                    (fun c r ->
+                      let p =
+                        match r with
+                        | Ok p -> p
+                        | Error e ->
+                            probe_fail ~kind:"crash" ~detail:("cell worker failed: " ^ e) ()
+                      in
+                      let result =
+                        if p.p_ok then Certified { beta = p.p_beta }
+                        else if
+                          c.depth < job.max_subdiv && p.p_kind <> "bad-cell"
+                          && split c <> None
+                        then Subdivided
+                        else Quarantined { kind = p.p_kind; detail = p.p_detail }
+                      in
+                      (match (run_dir, result) with
+                      | Some d, Quarantined _ ->
+                          let qdir = Filename.concat d "quarantine" in
+                          mkdir_p qdir;
+                          write_file
+                            (Filename.concat qdir
+                               (Printf.sprintf "%s.json"
+                                  (String.map (fun ch -> if ch = '/' then '_' else ch) c.id)))
+                            (Printf.sprintf
+                               "{\"cell\":\"%s\",\"kind\":\"%s\",\"detail\":\"%s\",\"journal\":%s}\n"
+                               (json_escape c.id) (json_escape p.p_kind)
+                               (json_escape p.p_detail)
+                               (if p.p_full = "" then "null" else p.p_full))
+                      | _ -> ());
+                      let entry : Ledger.entry =
+                        {
+                          Ledger.id = c.id;
+                          depth = c.depth;
+                          result;
+                          solves = p.p_solves;
+                          attempts = p.p_attempts;
+                          attempt_s = p.p_attempt_s;
+                        }
+                      in
+                      Option.iter (fun d -> Ledger.append d entry) run_dir;
+                      push c result ~replayed:false ~solves:p.p_solves
+                        ~attempts:p.p_attempts ~attempt_s:p.p_attempt_s next;
+                      Log.info (fun m ->
+                          m "cell %s: %s" c.id (Ledger.status_str result));
+                      if Fault.kill_after faults c.id then begin
+                        (* The chaos fault: die as if SIGKILLed, right after
+                           this cell's completion hit the ledger. *)
+                        Log.warn (fun m ->
+                            m "fault kill@%s: orchestrator exiting hard" c.id);
+                        Unix._exit 137
+                      end)
+                    chunk results;
+                  chunks rest
+            in
+            chunks fresh;
+            waves !next
+          end
+        in
+        waves (grid_cells grid);
+        let records = List.sort (fun a b -> compare a.cell.id b.cell.id) !records in
+        let count f = List.length (List.filter f records) in
+        let report =
+          {
+            job;
+            grid;
+            records;
+            certified = count (fun r -> match r.result with Certified _ -> true | _ -> false);
+            subdivided = count (fun r -> r.result = Subdivided);
+            quarantined =
+              count (fun r -> match r.result with Quarantined _ -> true | _ -> false);
+            replayed_cells = count (fun r -> r.replayed);
+            wall_s = Unix.gettimeofday () -. t0;
+          }
+        in
+        Option.iter
+          (fun d ->
+            write_file (Filename.concat d "atlas.json") (report_json report ^ "\n");
+            write_file
+              (Filename.concat d "summary.txt")
+              (Format.asprintf "%a@." pp_summary report))
+          run_dir;
+        Ok report
+      end)

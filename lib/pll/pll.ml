@@ -50,6 +50,73 @@ let table1_fourth =
     k_v = iv 495e4 502e4;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Sweepable parameter axes (parameterized problem construction)       *)
+(* ------------------------------------------------------------------ *)
+
+type axis = Ip | R | C1 | C2 | C3 | R2 | Kv
+
+let axes = [ Ip; R; C1; C2; C3; R2; Kv ]
+
+let axis_name = function
+  | Ip -> "ip"
+  | R -> "r"
+  | C1 -> "c1"
+  | C2 -> "c2"
+  | C3 -> "c3"
+  | R2 -> "r2"
+  | Kv -> "kv"
+
+let axis_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "ip" -> Ok Ip
+  | "r" -> Ok R
+  | "c1" -> Ok C1
+  | "c2" -> Ok C2
+  | "c3" -> Ok C3
+  | "r2" -> Ok R2
+  | "kv" -> Ok Kv
+  | other ->
+      Error
+        (Printf.sprintf "unknown parameter axis %S (want one of %s)" other
+           (String.concat ", " (List.map axis_name axes)))
+
+let axis_interval (raw : raw) = function
+  | Ip -> Some raw.i_p
+  | R -> Some raw.r
+  | C1 -> Some raw.c1
+  | C2 -> Some raw.c2
+  | C3 -> raw.c3
+  | R2 -> raw.r2
+  | Kv -> Some raw.k_v
+
+let axis_nominal raw a = Option.map Interval.mid (axis_interval raw a)
+
+let set_axis_relative (raw : raw) a ~lo ~hi =
+  if not (lo > 0.0 && hi > 0.0) then
+    Error
+      (Printf.sprintf "axis %s: relative factors must be strictly positive (got %g:%g)"
+         (axis_name a) lo hi)
+  else if lo > hi then
+    Error (Printf.sprintf "axis %s: empty relative range %g:%g" (axis_name a) lo hi)
+  else
+    match axis_nominal raw a with
+    | None ->
+        Error
+          (Printf.sprintf "axis %s does not exist on a %s-order model" (axis_name a)
+             (match raw.order with Third -> "third" | Fourth -> "fourth"))
+    | Some m ->
+        let ivl = iv (lo *. m) (hi *. m) in
+        Ok
+          (match a with
+          | Ip -> { raw with i_p = ivl }
+          | R -> { raw with r = ivl }
+          | C1 -> { raw with c1 = ivl }
+          | C2 -> { raw with c2 = ivl }
+          | C3 -> { raw with c3 = Some ivl }
+          | R2 -> { raw with r2 = Some ivl }
+          | Kv -> { raw with k_v = ivl })
+
 type scaled = {
   order : order;
   nvars : int;

@@ -62,6 +62,40 @@ val table1_third : raw
 val table1_fourth : raw
 (** Fourth-order column of Table 1. *)
 
+(** {1 Parameterized problem construction}
+
+    The sweep driver ({!Atlas}) certifies lock ranges over boxes of
+    circuit parameters. An {!axis} names one sweepable Table-1
+    parameter; {!set_axis_relative} rebuilds a [raw] model with that
+    parameter's interval replaced by a box given in {e relative} units —
+    multiples of the Table-1 nominal (interval midpoint) — so grid specs
+    are order-independent ("pump current from 0.8× to 1.2× nominal"). *)
+
+type axis = Ip | R | C1 | C2 | C3 | R2 | Kv
+
+val axes : axis list
+(** All axes, in canonical order. *)
+
+val axis_name : axis -> string
+(** Lower-case spec name: [ip], [r], [c1], [c2], [c3], [r2], [kv]. *)
+
+val axis_of_string : string -> (axis, string) result
+
+val axis_interval : raw -> axis -> Interval.t option
+(** The parameter interval an axis addresses, or [None] when the axis
+    does not exist at this order ([C3]/[R2] on a third-order model). *)
+
+val axis_nominal : raw -> axis -> float option
+(** Midpoint of {!axis_interval} — the Table-1 nominal the relative
+    units of {!set_axis_relative} are multiples of. *)
+
+val set_axis_relative : raw -> axis -> lo:float -> hi:float -> (raw, string) result
+(** [set_axis_relative raw a ~lo ~hi] replaces axis [a]'s interval with
+    [[lo·m, hi·m]] where [m] is the Table-1 nominal of [a]. [Error] when
+    the axis does not exist at this order, when [lo > hi], or when the
+    factors are not strictly positive (a zero or negative circuit
+    parameter has no physical meaning and breaks the scaling). *)
+
 (** Non-dimensionalised model coefficients (intervals over the Table-1
     box) plus the verification domain bounds. *)
 type scaled = {

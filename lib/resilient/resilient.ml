@@ -242,9 +242,15 @@ and clock = {
   mutable started : float option;
   mutable solve_count : int;
   mutable journal_rev : diagnosis list;
+  (* Budget accounting: every attempt is counted here, including quiet
+     probe attempts that never enter the journal, so a fresh policy's
+     consumption is the true cost of the pipeline it drove. *)
+  mutable attempt_count : int;
+  mutable attempt_s : float;
 }
 
-let fresh_clock () = { started = None; solve_count = 0; journal_rev = [] }
+let fresh_clock () =
+  { started = None; solve_count = 0; journal_rev = []; attempt_count = 0; attempt_s = 0.0 }
 
 let make ?(ladder = default_ladder) ?(retries = true) ?(accept_degraded = true)
     ?solve_deadline_s ?pipeline_deadline_s ?(clock_mode = Wall_clock)
@@ -272,6 +278,8 @@ let begin_pipeline p =
   p.clock.started <- Some (now p);
   p.clock.solve_count <- 0;
   p.clock.journal_rev <- [];
+  p.clock.attempt_count <- 0;
+  p.clock.attempt_s <- 0.0;
   Faults.reset p.faults
 
 let ensure_started p = if p.clock.started = None then p.clock.started <- Some (now p)
@@ -288,6 +296,11 @@ let out_of_time p =
 
 let solves p = p.clock.solve_count
 let journal p = List.rev p.clock.journal_rev
+
+type budget = { attempts : int; attempt_s : float; solves : int }
+
+let consumed p =
+  { attempts = p.clock.attempt_count; attempt_s = p.clock.attempt_s; solves = solves p }
 let failures p = List.filter (fun d -> d.outcome = Failed) (journal p)
 
 (* ------------------------------------------------------------------ *)
@@ -490,6 +503,8 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
             time_s = now policy -. t0;
           }
         in
+        policy.clock.attempt_count <- policy.clock.attempt_count + 1;
+        policy.clock.attempt_s <- policy.clock.attempt_s +. a.time_s;
         let attempts_rev = a :: attempts_rev in
         if certified payload then
           finish ~attempts_rev ~outcome:Certified ~accepted_rung:(Some rung) payload

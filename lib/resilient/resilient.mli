@@ -221,6 +221,19 @@ val elapsed_s : policy -> float
 val solves : policy -> int
 (** Logical solves run under this policy so far. *)
 
+(** Cumulative resource accounting for one policy/pipeline — the basis
+    of per-cell budgets in the sweep orchestrator: an atlas cell gets a
+    fresh policy, so [consumed] is exactly what that cell cost,
+    including quiet probe solves that never enter the journal. *)
+type budget = {
+  attempts : int;  (** individual solver attempts, across all rungs *)
+  attempt_s : float;  (** total attempt time, in {!time_mode} seconds *)
+  solves : int;  (** logical solves (= {!solves}) *)
+}
+
+val consumed : policy -> budget
+(** Resources consumed since policy creation / {!begin_pipeline}. *)
+
 val journal : policy -> diagnosis list
 (** All diagnoses, chronological. *)
 

@@ -280,8 +280,135 @@ module Journal = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Context                                                            *)
+(* Advisory run-directory lock                                        *)
 (* ------------------------------------------------------------------ *)
+
+module Lock = struct
+  type acquisition = Acquired | Reentrant | Stolen_stale of int
+
+  let path dir = Filename.concat dir "cache.lock"
+
+  (* Lock files released by at_exit of the acquiring process only: a
+     forked worker leaves via [Unix._exit] and never touches the lock,
+     so pool children cannot release their parent's claim. *)
+  let held : (string, int) Hashtbl.t = Hashtbl.create 4
+
+  let holder ~dir =
+    match read_file (path dir) with
+    | exception Sys_error _ -> None
+    | content -> int_of_string_opt (String.trim content)
+
+  let alive pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error (_, _, _) -> true (* EPERM etc.: someone owns it *)
+
+  let release ~dir =
+    let file = path dir in
+    (match holder ~dir with
+    | Some pid when pid = Unix.getpid () -> ( try Sys.remove file with Sys_error _ -> ())
+    | _ -> ());
+    Hashtbl.remove held file
+
+  let diagnosis ~dir ~pid ~waited_s =
+    Printf.sprintf
+      "{\"error\":\"run-dir-locked\",\"dir\":\"%s\",\"lock\":\"%s\",\"holder_pid\":%d,\"waited_s\":%.1f,\"hint\":\"another process is using this run directory's solve cache; wait for it, pick a fresh --run-dir, or remove the lock file if the holder is gone\"}"
+      (String.concat "/" (String.split_on_char '/' dir))
+      (path dir) pid waited_s
+
+  let acquire ~dir ?(wait_s = 0.0) () =
+    mkdir_p dir;
+    let file = path dir in
+    let deadline = Unix.gettimeofday () +. wait_s in
+    let rec go ~stole =
+      match Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+      | fd ->
+          let payload = string_of_int (Unix.getpid ()) ^ "\n" in
+          let b = Bytes.of_string payload in
+          ignore (Unix.write fd b 0 (Bytes.length b));
+          (try Unix.fsync fd with Unix.Unix_error _ -> ());
+          Unix.close fd;
+          if not (Hashtbl.mem held file) then begin
+            Hashtbl.replace held file (Unix.getpid ());
+            at_exit (fun () -> if Hashtbl.mem held file then release ~dir)
+          end;
+          Ok (match stole with Some pid -> Stolen_stale pid | None -> Acquired)
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> (
+          match holder ~dir with
+          | Some pid when pid = Unix.getpid () -> Ok Reentrant
+          | Some pid when not (alive pid) ->
+              (* The holder died (kill -9, OOM): steal the stale lock.
+                 O_EXCL serializes concurrent stealers — the loser just
+                 loops and finds the winner's fresh lock. *)
+              Log.warn (fun k ->
+                  k "stealing stale lock %s held by dead process %d" file pid);
+              (try Sys.remove file with Sys_error _ -> ());
+              go ~stole:(Some pid)
+          | Some pid ->
+              if Unix.gettimeofday () < deadline then begin
+                Unix.sleepf 0.05;
+                go ~stole
+              end
+              else Error (diagnosis ~dir ~pid ~waited_s:wait_s)
+          | None ->
+              (* Lock vanished between EEXIST and the read: retry. *)
+              go ~stole)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "{\"error\":\"lock-io\",\"lock\":\"%s\",\"detail\":\"%s\"}" file
+               (Unix.error_message e))
+    in
+    go ~stole:None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Run-configuration fingerprint guard                                *)
+(* ------------------------------------------------------------------ *)
+
+module Config_guard = struct
+  type verdict = Fresh | Matched
+
+  let magic = "pll-run-config v1"
+  let path dir = Filename.concat dir "config.fp"
+
+  (* First line magic, second the fingerprint digest, rest the
+     human-readable summary of what was fingerprinted — so a refusal can
+     show what the run directory was built with. *)
+  let read dir =
+    match read_file (path dir) with
+    | exception Sys_error _ -> None
+    | content -> (
+        match String.split_on_char '\n' content with
+        | m :: fp :: rest when m = magic ->
+            Some (String.trim fp, String.trim (String.concat "\n" rest))
+        | _ -> Some ("<unparseable>", content))
+
+  let check ~run_dir ~fingerprint ~summary =
+    let digest = Digest.to_hex (Digest.string fingerprint) in
+    match read run_dir with
+    | None -> (
+        mkdir_p run_dir;
+        match
+          write_atomic (path run_dir)
+            (Printf.sprintf "%s\n%s\n%s\n" magic digest summary)
+        with
+        | () -> Ok Fresh
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+            Error
+              (Printf.sprintf
+                 "{\"error\":\"config-io\",\"detail\":\"cannot write %s\"}"
+                 (path run_dir)))
+    | Some (stored, stored_summary) ->
+        if stored = digest then Ok Matched
+        else
+          Error
+            (Printf.sprintf
+               "{\"error\":\"config-drift\",\"run_dir\":\"%s\",\"stored\":\"%s\",\"requested\":\"%s\",\"stored_config\":\"%s\",\"requested_config\":\"%s\",\"hint\":\"these CLI arguments change the problem fingerprints; resuming would silently mix cache entries from different problems — rerun with the original arguments or use a fresh --run-dir\"}"
+               run_dir stored digest
+               (String.concat " " (String.split_on_char '\n' stored_summary))
+               (String.concat " " (String.split_on_char '\n' summary)))
+end
 
 type stats = {
   mutable supervised : int;

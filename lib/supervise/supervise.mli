@@ -134,6 +134,59 @@ module Journal : sig
       journal reads as ([[], []]). *)
 end
 
+(** Advisory lock on a run directory, guarding its solve cache. Two
+    processes sharing a [--run-dir] would interleave tmp+rename writes
+    and journal appends; the lock makes the second either wait (bounded)
+    or fail with a structured JSON diagnosis. The lock file
+    ([cache.lock]) carries the holder's pid; a lock whose holder is dead
+    (kill -9, OOM) is detected as stale and stolen, so a crashed run
+    never wedges its successors. Purely advisory: only cooperating
+    callers (the CLIs) consult it. Released via [at_exit] of the
+    acquiring process; forked workers leave through [Unix._exit] and
+    cannot release their parent's claim. *)
+module Lock : sig
+  type acquisition =
+    | Acquired  (** fresh lock taken *)
+    | Reentrant  (** this process already holds it *)
+    | Stolen_stale of int  (** taken over from this dead pid *)
+
+  val path : string -> string
+  (** Lock-file path for a run directory. *)
+
+  val acquire : dir:string -> ?wait_s:float -> unit -> (acquisition, string) result
+  (** Try to take the lock, polling for up to [wait_s] (default 0:
+      fail fast) while a live holder exists. [Error] carries a
+      machine-readable JSON diagnosis naming the holder pid. *)
+
+  val release : dir:string -> unit
+  (** Remove the lock if this process holds it; no-op otherwise. *)
+
+  val holder : dir:string -> int option
+  (** Pid recorded in the lock file, if any. *)
+end
+
+(** Run-configuration drift guard. A run directory's cache keys are
+    problem fingerprints; resuming with CLI arguments that change the
+    problems (order, degree, grid, tolerances…) would silently mix cache
+    entries from different sweeps. The guard stores a fingerprint of the
+    problem-determining configuration in the run directory on first use
+    and refuses — with a structured JSON diagnosis showing both
+    configurations — when a later run's fingerprint differs. *)
+module Config_guard : sig
+  type verdict =
+    | Fresh  (** no stored config: this run's fingerprint was recorded *)
+    | Matched  (** stored config identical: safe to share the cache *)
+
+  val path : string -> string
+  (** Fingerprint-file path ([config.fp]) for a run directory. *)
+
+  val check :
+    run_dir:string -> fingerprint:string -> summary:string -> (verdict, string) result
+  (** [fingerprint] is any canonical single-line rendering of the
+      problem-determining configuration; [summary] a human-readable
+      version stored alongside for diagnostics. *)
+end
+
 type stats = {
   mutable supervised : int;  (** supervised solve requests *)
   mutable forked : int;  (** worker processes launched *)

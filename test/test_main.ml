@@ -16,4 +16,5 @@ let () =
       ("reachset", Test_reachset.suite);
       ("barrier", Test_barrier.suite);
       ("core", Test_core.suite);
+      ("atlas", Test_atlas.suite);
     ]

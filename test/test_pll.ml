@@ -172,9 +172,50 @@ let test_to_physical () =
   Alcotest.(check (float 1e-9)) "voltage scaled" s.Pll.v0 phys.(0);
   Alcotest.(check (float 1e-9)) "theta unscaled" 0.7 phys.(2)
 
+(* Sweep-axis API: relative rebuilds of Table-1 parameters. *)
+
+let test_axes () =
+  List.iter
+    (fun ax ->
+      match Pll.axis_of_string (Pll.axis_name ax) with
+      | Ok ax' -> Alcotest.(check bool) "name round trip" true (ax = ax')
+      | Error e -> Alcotest.fail e)
+    Pll.axes;
+  (match Pll.axis_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus axis accepted"
+  | Error _ -> ());
+  (* Fourth-order-only axes are absent at third order. *)
+  Alcotest.(check bool) "c3 absent at third" true
+    (Pll.axis_interval Pll.table1_third Pll.C3 = None);
+  Alcotest.(check bool) "c3 present at fourth" true
+    (Pll.axis_interval Pll.table1_fourth Pll.C3 <> None)
+
+let test_set_axis_relative () =
+  let raw = Pll.table1_third in
+  let m = Option.get (Pll.axis_nominal raw Pll.Ip) in
+  (match Pll.set_axis_relative raw Pll.Ip ~lo:0.8 ~hi:1.2 with
+  | Error e -> Alcotest.fail e
+  | Ok raw' ->
+      let iv = Option.get (Pll.axis_interval raw' Pll.Ip) in
+      Alcotest.(check (float 1e-12)) "lo scaled" (0.8 *. m) (Interval.lo iv);
+      Alcotest.(check (float 1e-12)) "hi scaled" (1.2 *. m) (Interval.hi iv);
+      (* Other parameters untouched, and the result still scales. *)
+      Alcotest.(check bool) "r untouched" true (raw'.Pll.r = raw.Pll.r);
+      ignore (Pll.scale raw'));
+  List.iter
+    (fun (ax, lo, hi) ->
+      match Pll.set_axis_relative raw ax ~lo ~hi with
+      | Ok _ ->
+          Alcotest.failf "set_axis_relative %s %g %g should fail" (Pll.axis_name ax) lo hi
+      | Error _ -> ())
+    [ (Pll.C3, 0.9, 1.1); (Pll.R2, 0.9, 1.1); (Pll.Ip, 1.2, 0.8); (Pll.Ip, -1.0, 1.0);
+      (Pll.Ip, 0.0, 1.0) ]
+
 let suite =
   [
     Alcotest.test_case "scaled coefficients" `Quick test_scaled_coefficients;
+    Alcotest.test_case "sweep axes" `Quick test_axes;
+    Alcotest.test_case "set axis relative" `Quick test_set_axis_relative;
     Alcotest.test_case "nominal in box" `Quick test_nominal_in_box;
     Alcotest.test_case "vertex count" `Quick test_vertices_count;
     Alcotest.test_case "flow and equilibrium" `Quick test_flow_equilibrium;

@@ -140,9 +140,38 @@ let test_probe_is_quiet () =
   (* …but the probe still advances the shared logical solve counter. *)
   Alcotest.(check int) "solve counted" 1 (Resilient.solves pol)
 
+(* Budget accounting: consumed counts every attempt of every solve —
+   including quiet probe attempts that never reach the journal — so a
+   sweep cell's true cost is visible to its orchestrator. *)
+
+let test_consumed_budget () =
+  (* An injected baseline failure forces one ladder retry, so the meter
+     must show two attempts for one logical solve. *)
+  let pol = Resilient.make ~ladder:[ Resilient.Equilibrate ] ~faults:(plan "fail@1:1") () in
+  let zero = Resilient.consumed pol in
+  Alcotest.(check int) "fresh: no attempts" 0 zero.Resilient.attempts;
+  Alcotest.(check int) "fresh: no solves" 0 zero.Resilient.solves;
+  ignore (Resilient.solve_sos pol ~label:"budget" (feasible_prob ()));
+  let b = Resilient.consumed pol in
+  Alcotest.(check int) "attempts across rungs" 2 b.Resilient.attempts;
+  Alcotest.(check int) "one logical solve" 1 b.Resilient.solves;
+  Alcotest.(check bool) "time accumulated" true (b.Resilient.attempt_s >= 0.0);
+  (* Quiet probes are not journaled but still cost attempts. *)
+  let n_journal = List.length (Resilient.journal pol) in
+  ignore (Resilient.solve_sos (Resilient.probe pol) ~label:"p" (infeasible_prob ()));
+  let b' = Resilient.consumed pol in
+  Alcotest.(check int) "probe attempt counted" 3 b'.Resilient.attempts;
+  Alcotest.(check int) "probe solve counted" 2 b'.Resilient.solves;
+  Alcotest.(check int) "probe not journaled" n_journal
+    (List.length (Resilient.journal pol));
+  (* begin_pipeline resets the meter. *)
+  Resilient.begin_pipeline pol;
+  Alcotest.(check int) "reset" 0 (Resilient.consumed pol).Resilient.attempts
+
 let suite =
   [
     Alcotest.test_case "fault plan parsing" `Quick test_fault_plan_parsing;
+    Alcotest.test_case "consumed budget" `Quick test_consumed_budget;
     Alcotest.test_case "ladder parsing" `Quick test_ladder_parsing;
     Alcotest.test_case "ladder recovers injected failure" `Quick
       test_ladder_recovers_injected_failure;

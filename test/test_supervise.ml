@@ -302,9 +302,90 @@ let test_interrupt_raises () =
     Alcotest.fail "interrupted context still pooled"
   with Supervise.Interrupted -> ()
 
+(* Advisory run-dir lock: fresh acquire, reentrancy, stale-holder steal,
+   and the structured refusal when a live process holds it. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let lock_tmpdir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "supervise-lock-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let test_lock_acquire_and_reenter () =
+  let dir = lock_tmpdir () in
+  (match Supervise.Lock.acquire ~dir () with
+  | Ok Supervise.Lock.Acquired -> ()
+  | _ -> Alcotest.fail "fresh acquire");
+  Alcotest.(check (option int)) "holder recorded" (Some (Unix.getpid ()))
+    (Supervise.Lock.holder ~dir);
+  (match Supervise.Lock.acquire ~dir () with
+  | Ok Supervise.Lock.Reentrant -> ()
+  | _ -> Alcotest.fail "same process re-acquires");
+  Supervise.Lock.release ~dir;
+  Alcotest.(check (option int)) "released" None (Supervise.Lock.holder ~dir)
+
+let test_lock_steals_stale () =
+  let dir = lock_tmpdir () in
+  (* A dead holder: fork a child that exits immediately, use its pid. *)
+  let dead =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  let oc = open_out (Supervise.Lock.path dir) in
+  output_string oc (string_of_int dead);
+  close_out oc;
+  (match Supervise.Lock.acquire ~dir () with
+  | Ok (Supervise.Lock.Stolen_stale pid) -> Alcotest.(check int) "stale pid" dead pid
+  | _ -> Alcotest.fail "stale lock must be stolen");
+  Supervise.Lock.release ~dir
+
+let test_lock_refuses_live_holder () =
+  let dir = lock_tmpdir () in
+  (* A live holder this process does not own: init (pid 1). *)
+  let oc = open_out (Supervise.Lock.path dir) in
+  output_string oc "1";
+  close_out oc;
+  match Supervise.Lock.acquire ~dir ~wait_s:0.0 () with
+  | Ok _ -> Alcotest.fail "live holder must refuse"
+  | Error diag ->
+      Alcotest.(check bool) "structured diagnosis" true
+        (contains diag "run-dir-locked" && contains diag "\"holder_pid\":1")
+
+(* Config fingerprint guard: first use records, match passes, drift is a
+   structured refusal. *)
+
+let test_config_guard () =
+  let dir = lock_tmpdir () in
+  (match Supervise.Config_guard.check ~run_dir:dir ~fingerprint:"cfg v1" ~summary:"s1" with
+  | Ok Supervise.Config_guard.Fresh -> ()
+  | _ -> Alcotest.fail "first check records");
+  (match Supervise.Config_guard.check ~run_dir:dir ~fingerprint:"cfg v1" ~summary:"s1" with
+  | Ok Supervise.Config_guard.Matched -> ()
+  | _ -> Alcotest.fail "same config matches");
+  match Supervise.Config_guard.check ~run_dir:dir ~fingerprint:"cfg v2" ~summary:"s2" with
+  | Error diag ->
+      Alcotest.(check bool) "drift diagnosis" true
+        (contains diag "config-drift" && contains diag "s1" && contains diag "s2")
+  | Ok _ -> Alcotest.fail "drifted config must refuse"
+
 let suite =
   [
     Alcotest.test_case "fingerprint-stable" `Quick test_fingerprint_stable;
+    Alcotest.test_case "lock-acquire-reenter" `Quick test_lock_acquire_and_reenter;
+    Alcotest.test_case "lock-steals-stale" `Quick test_lock_steals_stale;
+    Alcotest.test_case "lock-refuses-live-holder" `Quick test_lock_refuses_live_holder;
+    Alcotest.test_case "config-guard" `Quick test_config_guard;
     Alcotest.test_case "fingerprint-ignores-hooks" `Quick test_fingerprint_ignores_hooks;
     Alcotest.test_case "cache-roundtrip" `Quick test_cache_roundtrip;
     Alcotest.test_case "cache-missing" `Quick test_cache_missing;

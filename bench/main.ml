@@ -13,7 +13,7 @@
 
    Artifacts: table1 table2 fig2 fig3 fig4 fig5 ablation-reachset
    ablation-degree ablation-robust ablation-advect extensions
-   sweep-fast kernels.
+   sweep-fast service-fast kernels.
 
    Absolute times differ from the paper (different machine, different
    solver); the reproduced shape is: which step dominates the runtime
@@ -358,6 +358,142 @@ let sweep_fast () =
           Format.printf "%a@." Atlas.pp_summary report)
 
 (* ------------------------------------------------------------------ *)
+(* Service profile — the verification daemon (lib/service) exercised
+   end to end over two lifetimes of a forked verifyd on a temp run
+   dir: a real solve followed by a byte-identical replay from the
+   result store, then (after a graceful drain and a --resume restart
+   with the dispatcher wedged) deterministic in-flight dedup and
+   load shedding against the bounded admission queue. Its admission
+   counters feed the service_accepted/service_shed/service_deduped/
+   service_hit_rate fields of --json. *)
+
+(* (accepted, shed, deduped, cache_served, submits) accumulated. *)
+let service_counters = ref (0, 0, 0, 0, 0)
+
+let service_fast () =
+  sect "Service: daemon admission, dedup and load shedding (3rd order, degree 4)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pll-bench-service-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  let base =
+    {
+      (Service.Daemon.default_config ~run_dir:dir) with
+      Service.Daemon.workers = 1;
+      queue_cap = 1;
+    }
+  in
+  let sock = Service.Daemon.socket_path base in
+  let start config =
+    (* The daemon chats on stdout; keep its lines out of the bench
+       report. *)
+    Format.pp_print_flush Format.std_formatter ();
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        let log =
+          Unix.openfile (Filename.concat dir "daemon.log")
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+            0o644
+        in
+        Unix.dup2 log Unix.stdout;
+        Unix.dup2 log Unix.stderr;
+        Unix.close log;
+        exit (Service.Daemon.run config)
+    | pid ->
+        (* A socket file can linger across lifetimes; ready means the
+           daemon answers status. *)
+        let rec ready n =
+          if n > 100 then failwith "service-fast: daemon never became ready"
+          else
+            match Service.Client.status ~sock () with
+            | Ok _ -> ()
+            | Error _ ->
+                Unix.sleepf 0.1;
+                ready (n + 1)
+        in
+        ready 0;
+        pid
+  in
+  let stop pid =
+    (match Service.Client.stop ~sock () with
+    | Ok _ -> ()
+    | Error e -> failwith ("service-fast: stop failed: " ^ e));
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, st ->
+        let code = match st with Unix.WEXITED c -> c | _ -> -1 in
+        failwith (Printf.sprintf "service-fast: daemon did not drain cleanly (%d)" code)
+  in
+  let ok what = function
+    | Ok j -> j
+    | Error e -> failwith (Printf.sprintf "service-fast: %s: %s" what e)
+  in
+  let spec point =
+    {
+      (Service.Job.default_spec Pll.Third) with
+      Service.Job.degree = 4;
+      bisect_steps = 4;
+      point;
+    }
+  in
+  let record_status () =
+    let s = ok "status" (Service.Client.status ~sock ()) in
+    let n field =
+      match Service.Json.mem_num field s with
+      | Some v -> int_of_float v
+      | None -> failwith ("service-fast: status lacks " ^ field)
+    in
+    let a0, s0, d0, c0, t0 = !service_counters in
+    service_counters :=
+      (a0 + n "accepted", s0 + n "shed", d0 + n "deduped", c0 + n "cache_served",
+       t0 + n "submits")
+  in
+  let typ j = Option.value ~default:"?" (Service.Json.mem_str "type" j) in
+  (* Lifetime 1: a real solve, then a replay served from the result
+     store. *)
+  let pid = start base in
+  let r1 = ok "job A" (Service.Client.submit ~sock (spec [])) in
+  let r2 = ok "job A (replay)" (Service.Client.submit ~sock (spec [])) in
+  if Service.Json.mem_bool "cached" r2 <> Some true then
+    failwith "service-fast: replay was not served from the result store";
+  record_status ();
+  stop pid;
+  (* Lifetime 2: resume over the same ledger with the dispatcher
+     wedged, so dedup and shedding are deterministic. *)
+  let pid =
+    start
+      {
+        base with
+        Service.Daemon.resume = true;
+        faults = [ Service.Daemon.Fault.Wedge_queue ];
+      }
+  in
+  let b = spec [ (Pll.Ip, 1.01) ] in
+  let sub s = Service.Client.submit ~sock ~wait:false s in
+  let j1 = ok "job B" (sub b) in
+  let j2 = ok "job B (dup)" (sub b) in
+  let j3 = ok "job C (over cap)" (sub (spec [ (Pll.Ip, 1.02) ])) in
+  if typ j1 <> "accepted" then failwith "service-fast: job B was not accepted";
+  if Service.Json.mem_bool "deduped" j2 <> Some true then
+    failwith "service-fast: duplicate submit was not deduped";
+  if typ j3 <> "overloaded" then
+    failwith "service-fast: over-cap submit was not shed";
+  record_status ();
+  stop pid;
+  Format.printf "  job A verdict: %s; replay cached: %b@."
+    (Option.value ~default:"?"
+       (Option.bind (Service.Json.member "result" r1) (Service.Json.mem_str "verdict")))
+    (Service.Json.mem_bool "cached" r2 = Some true);
+  let a, sh, d, c, t = !service_counters in
+  Format.printf
+    "  admission: accepted=%d shed=%d deduped=%d cache_served=%d of %d submits@." a sh d
+    c t;
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the numerical kernels.                 *)
 
 let kernels () =
@@ -442,13 +578,18 @@ type row = {
   atlas_cells : int;
   atlas_certified : int;
   atlas_quarantined : int;
+  service_accepted : int;
+  service_shed : int;
+  service_deduped : int;
+  service_hit_rate : float;
 }
 
 let row_to_json r =
   Printf.sprintf
-    "{\"name\":\"%s\",\"wall_s\":%.3f,\"cpu_s\":%.3f,\"solves\":%d,\"cache_hits\":%d,\"cache_stores\":%d,\"atlas_cells\":%d,\"atlas_certified\":%d,\"atlas_quarantined\":%d}"
+    "{\"name\":\"%s\",\"wall_s\":%.3f,\"cpu_s\":%.3f,\"solves\":%d,\"cache_hits\":%d,\"cache_stores\":%d,\"atlas_cells\":%d,\"atlas_certified\":%d,\"atlas_quarantined\":%d,\"service_accepted\":%d,\"service_shed\":%d,\"service_deduped\":%d,\"service_hit_rate\":%.3f}"
     r.name r.wall_s r.cpu_s r.solves r.cache_hits r.cache_stores r.atlas_cells
-    r.atlas_certified r.atlas_quarantined
+    r.atlas_certified r.atlas_quarantined r.service_accepted r.service_shed
+    r.service_deduped r.service_hit_rate
 
 let instrument rows (name, f) =
   ( name,
@@ -462,6 +603,7 @@ let instrument rows (name, f) =
       in
       let solves0 = Sdp.solve_count () in
       let ac0, ace0, aq0 = !atlas_counters in
+      let sa0, ss0, sd0, sc0, st0 = !service_counters in
       let w0 = Unix.gettimeofday () and c0 = Sys.time () in
       f ();
       let hits1, stores1 =
@@ -472,6 +614,7 @@ let instrument rows (name, f) =
         | None -> (0, 0)
       in
       let ac1, ace1, aq1 = !atlas_counters in
+      let sa1, ss1, sd1, sc1, st1 = !service_counters in
       rows :=
         {
           name;
@@ -483,6 +626,12 @@ let instrument rows (name, f) =
           atlas_cells = ac1 - ac0;
           atlas_certified = ace1 - ace0;
           atlas_quarantined = aq1 - aq0;
+          service_accepted = sa1 - sa0;
+          service_shed = ss1 - ss0;
+          service_deduped = sd1 - sd0;
+          service_hit_rate =
+            (if st1 = st0 then 0.0
+             else float_of_int (sc1 - sc0) /. float_of_int (st1 - st0));
         }
         :: !rows )
 
@@ -527,6 +676,7 @@ let () =
       ("ablation-advect", ablation_advect);
       ("extensions", extensions);
       ("sweep-fast", sweep_fast);
+      ("service-fast", service_fast);
       ("kernels", kernels);
     ]
   in

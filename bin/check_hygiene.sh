@@ -13,11 +13,15 @@
 #     bug);
 #  4. the bench --json schema must keep the atlas cell counters
 #     (atlas_cells / atlas_certified / atlas_quarantined), which
-#     downstream tooling reads from BENCH_*.json.
+#     downstream tooling reads from BENCH_*.json;
+#  5. the README's documented daemon CLI must match reality — the
+#     `verifyd flags:` line in README.md and the flags reported by
+#     `verifyd --help` must be the same set, both ways (only checked
+#     when a verifyd executable is passed as the second argument).
 #
 # Wired into `dune runtest` from test/dune; also runnable standalone:
 #
-#     bin/check_hygiene.sh [GITIGNORE]
+#     bin/check_hygiene.sh [GITIGNORE] [VERIFYD_EXE]
 set -eu
 
 fail() { echo "check_hygiene: $*" >&2; exit 1; }
@@ -51,6 +55,22 @@ if [ -f "$bench" ]; then
     grep -q "$field" "$bench" || \
       fail "bench/main.ml --json schema lost the $field counter"
   done
+fi
+
+# README daemon flags vs `verifyd --help` (check 5).
+verifyd="${2:-}"
+readme="$repo/README.md"
+if [ -n "$verifyd" ] && [ -x "$verifyd" ] && [ -f "$readme" ]; then
+  flags_line="$(grep -m1 '^verifyd flags:' "$readme" || true)"
+  [ -n "$flags_line" ] || \
+    fail "README.md lacks a 'verifyd flags:' line documenting the daemon CLI"
+  readme_flags="$(printf '%s\n' "$flags_line" | grep -oE -- '--[a-z-]+' | sort -u)"
+  help_flags="$("$verifyd" --help=plain 2>/dev/null | grep -oE -- '--[a-z-]+' \
+    | grep -vE '^--(help|version)$' | sort -u)"
+  [ -n "$help_flags" ] || fail "verifyd --help produced no flags ($verifyd)"
+  if [ "$readme_flags" != "$help_flags" ]; then
+    fail "README 'verifyd flags:' line drifts from verifyd --help: readme=[$(echo $readme_flags)] help=[$(echo $help_flags)]"
+  fi
 fi
 
 if command -v git >/dev/null 2>&1; then

@@ -3,6 +3,12 @@
      dune exec bin/verify_pll.exe -- --order third --degree 4
      dune exec bin/verify_pll.exe -- --order fourth --validate
      dune exec bin/verify_pll.exe -- --order third --robust -v
+     dune exec bin/verify_pll.exe -- --order third --point ip=1.05,kv=0.9
+
+   The pipeline itself lives in Service.Job and is shared verbatim with
+   the verifyd daemon, so a CLI run and a daemon job with the same spec
+   produce the same verdict through the same code path; this driver
+   owns only argument parsing, supervision/run-dir wiring and reports.
 
    Exit codes: 0 = inevitability verified; 2 = pipeline completed but
    the property was not established; 1 = pipeline/setup failure;
@@ -17,33 +23,32 @@ let setup_logs verbose =
 
 let cli_error = 124
 
-let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder deadline
-    fault_plan jobs run_dir resume lock_wait solve_timeout mem_limit verbose =
+let run order degree robust advect_iters sim_validate psd_tol eq_tol point
+    retry_ladder deadline fault_plan jobs run_dir resume lock_wait solve_timeout
+    mem_limit verbose =
   setup_logs verbose;
-  let raw, default_degree =
-    match order with
-    | `Third -> (Pll.table1_third, 6)
-    | `Fourth -> (Pll.table1_fourth, 4)
-  in
-  let degree = Option.value degree ~default:default_degree in
-  let s = Pll.scale raw in
-  Format.printf "%a@.@." Pll.pp_scaled s;
-  let base = Certificates.default_config s.Pll.order in
-  let cert_config =
-    {
-      base with
-      Certificates.degree;
-      robust_vertices = robust;
-      psd_tol = Option.value psd_tol ~default:base.Certificates.psd_tol;
-      eq_tol = Option.value eq_tol ~default:base.Certificates.eq_tol;
-    }
-  in
   match
-    (* Parse the resilience options up front so a bad spec is a usage
-       error (exit 124), not a late failure. *)
+    (* Parse the job spec and resilience options up front so a bad spec
+       is a usage error (exit 124), not a late failure. *)
     let ( let* ) = Result.bind in
     let* ladder = Resilient.ladder_of_string retry_ladder in
     let* faults = Resilient.Faults.of_string fault_plan in
+    let* point = Service.Job.point_of_string point in
+    let d = Service.Job.default_spec order in
+    let spec =
+      {
+        d with
+        Service.Job.property = Service.Job.Full;
+        degree = Option.value degree ~default:d.Service.Job.degree;
+        robust;
+        point;
+        advect_iters;
+        psd_tol;
+        eq_tol;
+        deadline_s = deadline;
+      }
+    in
+    let* () = Service.Job.validate spec in
     (* Supervision (worker isolation, pool, cache/journal) switches on
        when any of its knobs is set — or when the fault plan contains
        process-level faults, which only a supervisor can act on. *)
@@ -64,18 +69,21 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
       else None
     in
     Ok
-      ( Resilient.make ~ladder ~retries:(ladder <> []) ?pipeline_deadline_s:deadline
+      ( spec,
+        Resilient.make ~ladder ~retries:(ladder <> []) ?pipeline_deadline_s:deadline
           ~faults ?supervise (),
         supervise )
   with
   | Error e ->
       Format.eprintf "verify_pll: %s@." e;
       cli_error
-  | Ok (resilience, supervise) -> (
+  | Ok (spec, resilience, supervise) -> (
       (* Run-dir hygiene: an advisory lock so two processes sharing the
          directory cannot interleave cache writes, and a configuration
          fingerprint so --resume with problem-changing arguments is
-         refused instead of silently mixing cache entries. *)
+         refused instead of silently mixing cache entries. The job's
+         canonical line covers every problem-determining field,
+         including the parameter point. *)
       let guarded =
         match Option.bind supervise Supervise.run_dir with
         | None -> Ok ()
@@ -85,14 +93,7 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
                 Format.eprintf "verify_pll: %s@." diag;
                 Error ()
             | Ok _ -> (
-                let fingerprint =
-                  Printf.sprintf
-                    "pll-verify v1 order=%s degree=%d robust=%b advect-iters=%d \
-                     psd-tol=%h eq-tol=%h"
-                    (match order with `Third -> "third" | `Fourth -> "fourth")
-                    degree robust advect_iters cert_config.Certificates.psd_tol
-                    cert_config.Certificates.eq_tol
-                in
+                let fingerprint = "pll-verify v2 " ^ Service.Job.to_line spec in
                 match
                   Supervise.Config_guard.check ~run_dir:dir ~fingerprint
                     ~summary:fingerprint
@@ -105,83 +106,104 @@ let run order degree robust advect_iters validate psd_tol eq_tol retry_ladder de
       match guarded with
       | Error () -> 1
       | Ok () -> (
-      (match supervise with
-      | Some ctx ->
-          Supervise.install_signal_handlers ctx;
-          (match Supervise.run_dir ctx with
-          | Some dir ->
-              Format.printf "supervision: %d jobs, run dir %s%s@."
-                (Supervise.jobs ctx) dir
-                (if resume <> None then
-                   Printf.sprintf " (resuming; %d solve(s) on record)"
-                     (Supervise.replayed ctx)
-                 else "")
-          | None -> Format.printf "supervision: %d jobs (no run dir)@." (Supervise.jobs ctx))
-      | None -> ());
-      let finish_reports () =
-        (if Resilient.failures resilience <> [] || verbose then
-           Format.printf "resilience report: %s@." (Resilient.report_json resilience));
-        match supervise with
-        | None -> ()
-        | Some ctx ->
-            let report = Supervise.report_json ctx in
-            let st = Supervise.stats ctx in
-            if verbose || st.Supervise.crashes > 0 || st.Supervise.timeouts > 0
-               || st.Supervise.cache_rejects > 0
-            then Format.printf "supervision report: %s@." report;
-            (match Supervise.run_dir ctx with
-            | Some dir ->
-                let oc = open_out (Filename.concat dir "report.json") in
-                Printf.fprintf oc
-                  "{\"supervise\":%s,\"resilient\":%s}\n" report
-                  (Resilient.report_json resilience);
-                close_out oc
-            | None -> ())
-      in
-      match
-        Pll_core.Inevitability.verify ~cert_config ~max_advect_iter:advect_iters
-          ~resilience s
-      with
-      | exception Supervise.Interrupted ->
-          finish_reports ();
-          Format.printf
-            "interrupted — checkpoint saved%s; rerun with --resume to continue@."
-            (match Option.bind supervise Supervise.run_dir with
-            | Some dir -> " in " ^ dir
-            | None -> "")
-          ;
-          130
-      | Error e ->
-          Format.printf "verification FAILED: %s@." e;
-          finish_reports ();
-          1
-  | Ok report ->
-      Format.printf "%a@.@." Pll_core.Inevitability.pp_report report;
-      let ok = report.Pll_core.Inevitability.verified in
-      let sim_ok =
-        if validate then begin
-          let v =
-            Certificates.validate_by_simulation ~trials:25 s
-              report.Pll_core.Inevitability.invariant
+          (match supervise with
+          | Some ctx ->
+              Supervise.install_signal_handlers ctx;
+              (match Supervise.run_dir ctx with
+              | Some dir ->
+                  Format.printf "supervision: %d jobs, run dir %s%s@."
+                    (Supervise.jobs ctx) dir
+                    (if resume <> None then
+                       Printf.sprintf " (resuming; %d solve(s) on record)"
+                         (Supervise.replayed ctx)
+                     else "")
+              | None ->
+                  Format.printf "supervision: %d jobs (no run dir)@."
+                    (Supervise.jobs ctx))
+          | None -> ());
+          let finish_reports () =
+            (if Resilient.failures resilience <> [] || verbose then
+               Format.printf "resilience report: %s@."
+                 (Resilient.report_json resilience));
+            match supervise with
+            | None -> ()
+            | Some ctx ->
+                let report = Supervise.report_json ctx in
+                let st = Supervise.stats ctx in
+                if verbose || st.Supervise.crashes > 0 || st.Supervise.timeouts > 0
+                   || st.Supervise.cache_rejects > 0
+                then Format.printf "supervision report: %s@." report;
+                (match Supervise.run_dir ctx with
+                | Some dir ->
+                    let oc = open_out (Filename.concat dir "report.json") in
+                    Printf.fprintf oc
+                      "{\"supervise\":%s,\"resilient\":%s}\n" report
+                      (Resilient.report_json resilience);
+                    close_out oc
+                | None -> ())
           in
-          Format.printf "simulation validation of X1: %b@." v;
-          v
-        end
-        else true
-      in
-      finish_reports ();
-      if ok && sim_ok then begin
-        Format.printf "inevitability of phase-locking: VERIFIED@.";
-        0
-      end
-      else begin
-        Format.printf "inevitability of phase-locking: NOT established@.";
-        2
-      end))
+          (* The (point-adjusted) scaled model the job will verify; also
+             what the Monte-Carlo cross-check simulates. *)
+          let scaled =
+            match
+              List.fold_left
+                (fun acc (a, v) ->
+                  Result.bind acc (fun raw ->
+                      Pll.set_axis_relative raw a ~lo:v ~hi:v))
+                (Ok
+                   (match order with
+                   | Pll.Third -> Pll.table1_third
+                   | Pll.Fourth -> Pll.table1_fourth))
+                spec.Service.Job.point
+            with
+            | Ok raw -> Some (Pll.scale raw)
+            | Error _ -> None
+          in
+          (match scaled with
+          | Some s -> Format.printf "%a@.@." Pll.pp_scaled s
+          | None -> ());
+          (* The validation hook prints the pipeline report exactly where
+             the pipeline used to, and runs the optional Monte-Carlo
+             cross-check; returning false downgrades the verdict. *)
+          let validate report =
+            Format.printf "%a@.@." Pll_core.Inevitability.pp_report report;
+            match (sim_validate, scaled) with
+            | true, Some s ->
+                let v =
+                  Certificates.validate_by_simulation ~trials:25 s
+                    report.Pll_core.Inevitability.invariant
+                in
+                Format.printf "simulation validation of X1: %b@." v;
+                v
+            | _ -> true
+          in
+          match Service.Job.run ~policy:resilience ~validate spec with
+          | exception Supervise.Interrupted ->
+              finish_reports ();
+              Format.printf
+                "interrupted — checkpoint saved%s; rerun with --resume to \
+                 continue@."
+                (match Option.bind supervise Supervise.run_dir with
+                | Some dir -> " in " ^ dir
+                | None -> "");
+              130
+          | r -> (
+              finish_reports ();
+              match r.Service.Job.verdict with
+              | Service.Job.Verified ->
+                  Format.printf "inevitability of phase-locking: VERIFIED@.";
+                  0
+              | Service.Job.Not_established ->
+                  Format.printf "%s: %s@." r.Service.Job.kind r.Service.Job.detail;
+                  Format.printf "inevitability of phase-locking: NOT established@.";
+                  2
+              | Service.Job.Failed ->
+                  Format.printf "verification FAILED: %s@." r.Service.Job.detail;
+                  1)))
 
 let order =
-  let order_conv = Arg.enum [ ("third", `Third); ("fourth", `Fourth) ] in
-  Arg.(value & opt order_conv `Third & info [ "order"; "o" ] ~docv:"ORDER"
+  let order_conv = Arg.enum [ ("third", Pll.Third); ("fourth", Pll.Fourth) ] in
+  Arg.(value & opt order_conv Pll.Third & info [ "order"; "o" ] ~docv:"ORDER"
          ~doc:"PLL order to verify: $(b,third) or $(b,fourth).")
 
 let degree =
@@ -198,7 +220,7 @@ let advect_iters =
   Arg.(value & opt int 25 & info [ "advect-iters" ] ~docv:"N"
          ~doc:"Maximum bounded-advection iterations for property P2.")
 
-let validate =
+let sim_validate =
   Arg.(value & flag & info [ "validate" ]
          ~doc:"Monte-Carlo cross-check: simulate trajectories sampled in X1 and verify \
                certificate decrease and locking.")
@@ -213,6 +235,13 @@ let eq_tol =
   Arg.(value & opt (some float) None & info [ "eq-tol" ] ~docv:"TOL"
          ~doc:"A-posteriori equality tolerance on the SOS decomposition residual, \
                relative to constraint scale (default 1e-5).")
+
+let point =
+  Arg.(value & opt string "" & info [ "point" ] ~docv:"SPEC"
+         ~doc:"Relative parameter point as comma-separated AXIS=FACTOR pairs, e.g. \
+               $(b,ip=1.05,kv=0.9); each factor replaces that axis's Table-1 \
+               interval with the degenerate point FACTOR * nominal. Empty = the \
+               nominal model.")
 
 let retry_ladder =
   Arg.(value & opt string "default" & info [ "retry-ladder" ] ~docv:"SPEC"
@@ -282,8 +311,8 @@ let cmd =
   let info = Cmd.info "verify_pll" ~doc in
   Cmd.v info
     Term.(
-      const run $ order $ degree $ robust $ advect_iters $ validate $ psd_tol $ eq_tol
-      $ retry_ladder $ deadline $ fault_plan $ jobs $ run_dir_arg $ resume $ lock_wait
-      $ solve_timeout $ mem_limit $ verbose)
+      const run $ order $ degree $ robust $ advect_iters $ sim_validate $ psd_tol
+      $ eq_tol $ point $ retry_ladder $ deadline $ fault_plan $ jobs $ run_dir_arg
+      $ resume $ lock_wait $ solve_timeout $ mem_limit $ verbose)
 
 let () = exit (Cmd.eval' cmd)

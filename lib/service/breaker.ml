@@ -1,0 +1,77 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown_s : float;
+  now : unit -> float;
+  mutable st : state;
+  mutable open_until : float;
+  mutable consecutive : int;
+  mutable probing : bool;
+  mutable trips : int;
+}
+
+let create ?(threshold = 3) ?(cooldown_s = 30.0) ~now () =
+  {
+    threshold = max 1 threshold;
+    cooldown_s;
+    now;
+    st = Closed;
+    open_until = 0.0;
+    consecutive = 0;
+    probing = false;
+    trips = 0;
+  }
+
+let refresh t =
+  if t.st = Open && t.now () >= t.open_until then begin
+    t.st <- Half_open;
+    t.probing <- false
+  end
+
+let state t =
+  refresh t;
+  t.st
+
+let state_name t =
+  match state t with
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let allow t =
+  refresh t;
+  match t.st with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+      if t.probing then false
+      else begin
+        t.probing <- true;
+        true
+      end
+
+let success t =
+  t.st <- Closed;
+  t.consecutive <- 0;
+  t.probing <- false
+
+let trip t =
+  t.st <- Open;
+  t.open_until <- t.now () +. t.cooldown_s;
+  t.probing <- false;
+  t.trips <- t.trips + 1
+
+let failure t =
+  refresh t;
+  t.consecutive <- t.consecutive + 1;
+  match t.st with
+  | Half_open -> trip t
+  | Closed -> if t.consecutive >= t.threshold then trip t
+  | Open -> ()
+
+let retry_after_s t =
+  refresh t;
+  match t.st with Open -> Float.max 0.0 (t.open_until -. t.now ()) | _ -> 0.0
+
+let trips t = t.trips

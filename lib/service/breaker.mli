@@ -1,0 +1,51 @@
+(** A circuit breaker over the daemon's worker fleet. Repeated worker
+    crashes (segfaults, OOM kills, a poisoned solver build) mean
+    forking more workers just burns CPU and floods the ledger with
+    retries; the breaker cuts them off and degrades the daemon to
+    cache-only serving until a cooldown passes and a single probe job
+    proves workers are healthy again.
+
+    Classic three-state machine:
+
+    - {b Closed} — normal operation; crashes are counted, and
+      [threshold] {e consecutive} failures trip the breaker;
+    - {b Open} — no workers are started; submits that miss the result
+      store are refused with a structured [degraded] response carrying
+      a retry-after hint; after [cooldown_s] the next {!allow} moves to
+      Half-open;
+    - {b Half-open} — exactly one probe job may start; its success
+      closes the breaker, its failure re-opens it for another cooldown.
+
+    Pure and clock-injected, so tests drive it without waiting. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?threshold:int -> ?cooldown_s:float -> now:(unit -> float) -> unit -> t
+(** Defaults: [threshold = 3] consecutive failures, [cooldown_s = 30]. *)
+
+val state : t -> state
+(** Current state ({b Open} lapses into {b Half_open} lazily, on the
+    next {!state}/{!allow} after the cooldown elapses). *)
+
+val state_name : t -> string
+(** ["closed" | "open" | "half-open"] for status JSON. *)
+
+val allow : t -> bool
+(** May a worker be started now? In Half-open this admits exactly one
+    probe until {!success}/{!failure} settles it. *)
+
+val success : t -> unit
+(** A worker completed a job cleanly: reset to Closed. *)
+
+val failure : t -> unit
+(** A worker crashed. Trips Closed→Open at the threshold and
+    Half-open→Open immediately. *)
+
+val retry_after_s : t -> float
+(** Seconds until the breaker would next admit work — the hint sent in
+    [degraded] refusals (0 when not Open). *)
+
+val trips : t -> int
+(** Times the breaker has opened — a status counter. *)

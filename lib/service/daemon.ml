@@ -1,0 +1,935 @@
+module Log = (val Logs.src_log (Logs.Src.create "service.daemon") : Logs.LOG)
+
+(* ----------------------------------------------------------------- *)
+(* Daemon-level fault plans *)
+
+module Fault = struct
+  type t =
+    | Kill_worker of string
+    | Drop_client of string
+    | Wedge_queue
+    | Die_at of string
+
+  type plan = t list
+
+  let none = []
+
+  let of_token tok =
+    let at p =
+      let lp = String.length p in
+      if
+        String.length tok > lp
+        && String.sub tok 0 lp = p
+        && tok.[lp] = '@'
+      then Some (String.sub tok (lp + 1) (String.length tok - lp - 1))
+      else None
+    in
+    if tok = "wedge-queue" then Ok Wedge_queue
+    else
+      match at "kill-worker" with
+      | Some id -> Ok (Kill_worker id)
+      | None -> (
+          match at "drop-client" with
+          | Some id -> Ok (Drop_client id)
+          | None -> (
+              match at "die" with
+              | Some id -> Ok (Die_at id)
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "unknown daemon fault %S (kill-worker@JOB, drop-client@JOB, \
+                        wedge-queue, die@JOB)"
+                       tok)))
+
+  let of_string s =
+    let s = String.trim s in
+    if s = "" || s = "none" then Ok []
+    else
+      List.fold_left
+        (fun acc tok ->
+          Result.bind acc (fun plan ->
+              Result.map (fun f -> f :: plan) (of_token (String.trim tok))))
+        (Ok [])
+        (String.split_on_char ',' s)
+      |> Result.map List.rev
+
+  let to_string plan =
+    if plan = [] then "none"
+    else
+      String.concat ","
+        (List.map
+           (function
+             | Kill_worker id -> "kill-worker@" ^ id
+             | Drop_client id -> "drop-client@" ^ id
+             | Wedge_queue -> "wedge-queue"
+             | Die_at id -> "die@" ^ id)
+           plan)
+end
+
+(* ----------------------------------------------------------------- *)
+(* Configuration *)
+
+type config = {
+  run_dir : string;
+  sock : string option;
+  workers : int;
+  queue_cap : int;
+  cache_max_mb : int option;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  default_deadline_s : float option;
+  job_retries : int;
+  lock_wait_s : float;
+  faults : Fault.plan;
+  resume : bool;
+}
+
+let default_config ~run_dir =
+  {
+    run_dir;
+    sock = None;
+    workers = 2;
+    queue_cap = 16;
+    cache_max_mb = None;
+    breaker_threshold = 3;
+    breaker_cooldown_s = 30.0;
+    default_deadline_s = None;
+    job_retries = 2;
+    lock_wait_s = 0.0;
+    faults = Fault.none;
+    resume = false;
+  }
+
+let socket_path cfg =
+  match cfg.sock with
+  | Some s -> s
+  | None -> Filename.concat cfg.run_dir "verifyd.sock"
+
+(* ----------------------------------------------------------------- *)
+(* Daemon state *)
+
+type client = { cfd : Unix.file_descr; cbuf : Buffer.t }
+
+type worker = {
+  w_id : string;
+  pid : int;
+  kill_after : float option;  (* absolute wall deadline + grace *)
+  mutable killed : bool;
+  mutable timed_out : bool;
+  mutable cancelled : bool;
+}
+
+type counters = {
+  mutable submits : int;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable deduped : int;
+  mutable cache_served : int;
+  mutable breaker_rejects : int;
+  mutable completed : int;
+  mutable crashes : int;
+  mutable timeouts : int;
+  mutable cancelled : int;
+}
+
+type st = {
+  cfg : config;
+  sock : string;
+  q : Jobqueue.t;
+  cache : Supervise.Cache.t;
+  listen : Unix.file_descr;
+  mutable clients : client list;
+  pending : string Queue.t;
+  mutable workers : worker list;
+  waiters : (string, Unix.file_descr list ref) Hashtbl.t;
+  detached : (string, unit) Hashtbl.t;
+  by_fp : (string, string) Hashtbl.t;
+  retries : (string, int) Hashtbl.t;
+  not_before : (string, float) Hashtbl.t;
+  breaker : Breaker.t;
+  c : counters;
+  mutable fired : Fault.t list;  (* one-shot faults already fired *)
+  draining : bool ref;
+  interrupted : bool ref;
+}
+
+let results_dir st = Filename.concat st.cfg.run_dir "results"
+let outbox_dir st = Filename.concat st.cfg.run_dir "outbox"
+let result_path st fp = Filename.concat (results_dir st) (fp ^ ".json")
+let outbox_path st id = Filename.concat (outbox_dir st) (id ^ ".json")
+
+let fault_fires st f =
+  if List.mem f st.cfg.faults && not (List.mem f st.fired) then begin
+    st.fired <- f :: st.fired;
+    true
+  end
+  else false
+
+let wedged st = List.mem Fault.Wedge_queue st.cfg.faults
+
+(* ----------------------------------------------------------------- *)
+(* Client I/O *)
+
+let send_raw st cl line =
+  let line = line ^ "\n" in
+  let n = String.length line in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write_substring cl.cfd line off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          (* Satellite: a vanished client is a structured diagnosis on
+             our side, never a daemon-killing SIGPIPE. *)
+          Log.info (fun k -> k "client gone mid-write (EPIPE): dropping it");
+          false
+      | exception Unix.Unix_error (err, _, _) ->
+          Log.warn (fun k -> k "client write failed: %s" (Unix.error_message err));
+          false
+  in
+  ignore st;
+  go 0
+
+let send st cl v = send_raw st cl (Json.to_string v)
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Forget a client everywhere. Jobs it was the last waiter of are
+   cancelled — unless detached (submitted no-wait, or recovered from the
+   ledger), which run to completion regardless. *)
+let rec drop_client st fd =
+  (match List.find_opt (fun c -> c.cfd == fd) st.clients with
+  | Some _ -> ()
+  | None -> ());
+  st.clients <- List.filter (fun c -> c.cfd != fd) st.clients;
+  close_fd fd;
+  let orphaned = ref [] in
+  Hashtbl.iter
+    (fun id fds ->
+      if List.memq fd !fds then begin
+        fds := List.filter (fun f -> f != fd) !fds;
+        if !fds = [] then orphaned := id :: !orphaned
+      end)
+    st.waiters;
+  List.iter
+    (fun id ->
+      Hashtbl.remove st.waiters id;
+      if not (Hashtbl.mem st.detached id) then cancel_job st id)
+    !orphaned
+
+and cancel_job st id =
+  match Jobqueue.find st.q id with
+  | None -> ()
+  | Some e -> (
+      match e.Jobqueue.state with
+      | Jobqueue.Pending ->
+          (* Remove from the in-memory queue; the ledger gets a cancel
+             line so a crash right now does not resurrect the job. *)
+          let keep = Queue.create () in
+          Queue.iter (fun i -> if i <> id then Queue.add i keep) st.pending;
+          Queue.clear st.pending;
+          Queue.transfer keep st.pending;
+          Jobqueue.cancel st.q e;
+          Hashtbl.remove st.by_fp e.Jobqueue.fp;
+          st.c.cancelled <- st.c.cancelled + 1;
+          Log.info (fun k -> k "job %s cancelled (client gone, still pending)" id)
+      | Jobqueue.Running -> (
+          match List.find_opt (fun w -> w.w_id = id) st.workers with
+          | Some w ->
+              w.cancelled <- true;
+              (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              Jobqueue.cancel st.q e;
+              Hashtbl.remove st.by_fp e.Jobqueue.fp;
+              st.c.cancelled <- st.c.cancelled + 1;
+              Log.info (fun k ->
+                  k "job %s cancelled (client gone, worker %d killed)" id w.pid)
+          | None -> ())
+      | _ -> ())
+
+let notify st id v =
+  (match Hashtbl.find_opt st.waiters id with
+  | Some fds ->
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun c -> c.cfd == fd) st.clients with
+          | Some cl -> if not (send st cl v) then drop_client st fd
+          | None -> ())
+        !fds
+  | None -> ());
+  Hashtbl.remove st.waiters id
+
+(* ----------------------------------------------------------------- *)
+(* Result store *)
+
+let stored_result st fp =
+  match Ioutil.read_file (result_path st fp) with
+  | None -> None
+  | Some bytes -> (
+      match Json.parse bytes with Ok v -> Some v | Error _ -> None)
+
+let result_response ~id ~cached ?(solves = 0) result_obj =
+  let verdict = Option.value (Json.mem_str "verdict" result_obj) ~default:"failed" in
+  let exit_code =
+    match Job.verdict_of_string verdict with
+    | Ok v -> Job.exit_code v
+    | Error _ -> 1
+  in
+  Json.Obj
+    [
+      ("type", Json.Str "result");
+      ("id", Json.Str id);
+      ("verdict", Json.Str verdict);
+      ("exit", Json.Num (float_of_int exit_code));
+      ("cached", Json.Bool cached);
+      ("solves", Json.Num (float_of_int solves));
+      ("result", result_obj);
+    ]
+
+let synthetic_result ~verdict ~kind ~detail =
+  Json.Obj
+    [
+      ("verdict", Json.Str (Job.verdict_to_string verdict));
+      ("beta", Json.Num 0.0);
+      ("kind", Json.Str kind);
+      ("detail", Json.Str detail);
+    ]
+
+(* ----------------------------------------------------------------- *)
+(* Workers *)
+
+let deadline_grace_s = 5.0
+
+let spawn_worker st (e : Jobqueue.entry) =
+  let id = e.Jobqueue.id in
+  Jobqueue.start st.q e;
+  if fault_fires st (Fault.Die_at id) then begin
+    (* Deterministic kill -9 mid-job: the start line is ledgered and
+       fsync'd, the worker never runs, the daemon dies like the OOM
+       killer got it. --resume recovers the job. *)
+    Format.printf "verifyd: fault die@%s firing — simulating kill -9@." id;
+    Format.pp_print_flush Format.std_formatter ();
+    Unix._exit 137
+  end;
+  match Unix.fork () with
+  | 0 ->
+      (* Worker. Shed every inherited daemon fd so client EOF detection
+         keeps working in the parent, then run the job over the shared
+         run-dir cache/journal and exit with the verdict's code. *)
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      close_fd st.listen;
+      List.iter (fun c -> close_fd c.cfd) st.clients;
+      let code =
+        try
+          let ctx =
+            Supervise.create ~run_dir:st.cfg.run_dir ~isolate:false ~jobs:1 ()
+          in
+          let policy = Job.make_policy ~supervise:ctx e.Jobqueue.spec in
+          let r = Job.run ~policy e.Jobqueue.spec in
+          let stable = Job.result_json r in
+          let outbox =
+            Json.to_string
+              (Json.Obj
+                 [
+                   ("id", Json.Str id);
+                   ("fp", Json.Str e.Jobqueue.fp);
+                   ( "result",
+                     match Json.parse stable with Ok v -> v | Error _ -> Json.Null
+                   );
+                   ("solves", Json.Num (float_of_int r.Job.solves));
+                   ("attempts", Json.Num (float_of_int r.Job.attempts));
+                   ("attempt_s", Json.Num r.Job.attempt_s);
+                   ("deadline_hit", Json.Bool r.Job.deadline_hit);
+                 ])
+          in
+          Ioutil.write_atomic ~path:(outbox_path st id) outbox;
+          (* Only clean completions enter the result store: a Failed or
+             deadline-cut run is budget-dependent, not a fact about the
+             problem, so it must not be replayed as one. (This is also
+             why the fingerprint may soundly exclude the deadline.) *)
+          if r.Job.verdict <> Job.Failed && not r.Job.deadline_hit then
+            Ioutil.write_atomic ~path:(result_path st e.Jobqueue.fp) stable;
+          Job.exit_code r.Job.verdict
+        with
+        | Supervise.Interrupted -> 130
+        | e ->
+            prerr_endline ("verifyd worker: " ^ Printexc.to_string e);
+            1
+      in
+      Unix._exit code
+  | pid ->
+      let kill_after =
+        Option.map
+          (fun d -> Unix.gettimeofday () +. d +. deadline_grace_s)
+          e.Jobqueue.spec.Job.deadline_s
+      in
+      st.workers <-
+        { w_id = id; pid; kill_after; killed = false; timed_out = false; cancelled = false }
+        :: st.workers;
+      Log.info (fun k -> k "job %s started in worker %d" id pid);
+      if fault_fires st (Fault.Kill_worker id) then begin
+        Format.printf "verifyd: fault kill-worker@%s firing on pid %d@." id pid;
+        Format.pp_print_flush Format.std_formatter ();
+        try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+      end
+
+let maybe_cache_gc st =
+  match st.cfg.cache_max_mb with
+  | None -> ()
+  | Some mb ->
+      let stats = Supervise.Cache.gc st.cache ~max_bytes:(mb * 1024 * 1024) in
+      if stats.Supervise.Cache.evicted > 0 then
+        Log.info (fun k ->
+            k "cache gc: evicted %d entries (%d bytes); %d entries (%d bytes) remain"
+              stats.Supervise.Cache.evicted stats.Supervise.Cache.evicted_bytes
+              stats.Supervise.Cache.entries stats.Supervise.Cache.bytes)
+
+let job_done st (e : Jobqueue.entry) (w : worker) =
+  match Ioutil.read_file (outbox_path st e.Jobqueue.id) with
+  | Some bytes when not w.cancelled -> (
+      match Json.parse bytes with
+      | Ok outbox ->
+          let result_obj =
+            Option.value (Json.member "result" outbox) ~default:Json.Null
+          in
+          let solves =
+            match Json.mem_num "solves" outbox with
+            | Some f -> int_of_float f
+            | None -> 0
+          in
+          let verdict =
+            match
+              Option.bind (Json.mem_str "verdict" result_obj) (fun v ->
+                  Result.to_option (Job.verdict_of_string v))
+            with
+            | Some v -> v
+            | None -> Job.Failed
+          in
+          Jobqueue.finish st.q e verdict;
+          st.c.completed <- st.c.completed + 1;
+          Breaker.success st.breaker;
+          notify st e.Jobqueue.id
+            (result_response ~id:e.Jobqueue.id ~cached:false ~solves result_obj);
+          Format.printf "verifyd: job %s done: %s (%d solves)@." e.Jobqueue.id
+            (Job.verdict_to_string verdict)
+            solves;
+          Format.pp_print_flush Format.std_formatter ();
+          maybe_cache_gc st;
+          true
+      | Error why ->
+          Log.warn (fun k ->
+              k "job %s outbox unparseable (%s); treating as crash" e.Jobqueue.id why);
+          false)
+  | _ -> false
+
+let reap st =
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> ()
+    | pid, status -> (
+        match List.find_opt (fun w -> w.pid = pid) st.workers with
+        | None -> go ()
+        | Some w ->
+            st.workers <- List.filter (fun x -> x.pid <> pid) st.workers;
+            (match Jobqueue.find st.q w.w_id with
+            | None -> ()
+            | Some e ->
+                let id = e.Jobqueue.id in
+                let cleanup () =
+                  Hashtbl.remove st.by_fp e.Jobqueue.fp;
+                  Hashtbl.remove st.detached id;
+                  Hashtbl.remove st.retries id;
+                  Hashtbl.remove st.not_before id
+                in
+                if w.cancelled then cleanup ()
+                else if job_done st e w then cleanup ()
+                else if w.timed_out then begin
+                  st.c.timeouts <- st.c.timeouts + 1;
+                  Jobqueue.finish st.q e Job.Failed;
+                  notify st id
+                    (result_response ~id ~cached:false
+                       (synthetic_result ~verdict:Job.Failed ~kind:"deadline"
+                          ~detail:"worker exceeded the job deadline and was killed"));
+                  cleanup ()
+                end
+                else begin
+                  (* Crash: the worker died without an outbox. *)
+                  st.c.crashes <- st.c.crashes + 1;
+                  Breaker.failure st.breaker;
+                  let how =
+                    match status with
+                    | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                    | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                    | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+                  in
+                  let attempt =
+                    1 + Option.value (Hashtbl.find_opt st.retries id) ~default:0
+                  in
+                  if attempt <= st.cfg.job_retries then begin
+                    Hashtbl.replace st.retries id attempt;
+                    Hashtbl.replace st.not_before id
+                      (Unix.gettimeofday ()
+                      +. (0.25 *. Float.pow 2.0 (float_of_int (attempt - 1))));
+                    e.Jobqueue.state <- Jobqueue.Pending;
+                    Queue.add id st.pending;
+                    Format.printf
+                      "verifyd: job %s worker crashed (%s); retry %d/%d with backoff@."
+                      id how attempt st.cfg.job_retries;
+                    Format.pp_print_flush Format.std_formatter ()
+                  end
+                  else begin
+                    Jobqueue.finish st.q e Job.Failed;
+                    notify st id
+                      (result_response ~id ~cached:false
+                         (synthetic_result ~verdict:Job.Failed ~kind:"worker-crash"
+                            ~detail:
+                              (Printf.sprintf "worker died %d time(s), last by %s"
+                                 attempt how)));
+                    cleanup ()
+                  end
+                end);
+            go ())
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let enforce_deadlines st =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun w ->
+      match w.kill_after with
+      | Some t when now > t && not w.killed ->
+          w.killed <- true;
+          w.timed_out <- true;
+          Log.warn (fun k ->
+              k "job %s worker %d past deadline + grace; SIGKILL" w.w_id w.pid);
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | _ -> ())
+    st.workers
+
+let dispatch st =
+  if (not (wedged st)) && not !(st.draining) then begin
+    let now = Unix.gettimeofday () in
+    let progress = ref true in
+    while
+      !progress
+      && List.length st.workers < st.cfg.workers
+      && not (Queue.is_empty st.pending)
+    do
+      progress := false;
+      let id = Queue.peek st.pending in
+      let due =
+        match Hashtbl.find_opt st.not_before id with
+        | Some t -> now >= t
+        | None -> true
+      in
+      match Jobqueue.find st.q id with
+      | None ->
+          ignore (Queue.pop st.pending);
+          progress := true
+      | Some e when e.Jobqueue.state <> Jobqueue.Pending ->
+          ignore (Queue.pop st.pending);
+          progress := true
+      | Some e ->
+          if due && Breaker.allow st.breaker then begin
+            ignore (Queue.pop st.pending);
+            spawn_worker st e;
+            progress := true
+          end
+    done
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Requests *)
+
+let status_json st =
+  let entries, bytes = Supervise.Cache.usage st.cache in
+  let hit_rate =
+    if st.c.submits = 0 then 0.0
+    else float_of_int st.c.cache_served /. float_of_int st.c.submits
+  in
+  Json.Obj
+    [
+      ("type", Json.Str "status");
+      ("accepted", Json.Num (float_of_int st.c.accepted));
+      ("shed", Json.Num (float_of_int st.c.shed));
+      ("deduped", Json.Num (float_of_int st.c.deduped));
+      ("cache_served", Json.Num (float_of_int st.c.cache_served));
+      ("submits", Json.Num (float_of_int st.c.submits));
+      ("hit_rate", Json.Num hit_rate);
+      ("completed", Json.Num (float_of_int st.c.completed));
+      ("crashes", Json.Num (float_of_int st.c.crashes));
+      ("timeouts", Json.Num (float_of_int st.c.timeouts));
+      ("cancelled", Json.Num (float_of_int st.c.cancelled));
+      ("breaker_rejects", Json.Num (float_of_int st.c.breaker_rejects));
+      ("breaker", Json.Str (Breaker.state_name st.breaker));
+      ("breaker_trips", Json.Num (float_of_int (Breaker.trips st.breaker)));
+      ("queue_depth", Json.Num (float_of_int (Queue.length st.pending)));
+      ("running", Json.Num (float_of_int (List.length st.workers)));
+      ("queue_cap", Json.Num (float_of_int st.cfg.queue_cap));
+      ("workers", Json.Num (float_of_int st.cfg.workers));
+      ("draining", Json.Bool !(st.draining));
+      ("cache_entries", Json.Num (float_of_int entries));
+      ("cache_bytes", Json.Num (float_of_int bytes));
+    ]
+
+let error_response fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Json.Obj [ ("type", Json.Str "error"); ("message", Json.Str msg) ])
+    fmt
+
+let handle_submit st cl req =
+  st.c.submits <- st.c.submits + 1;
+  match
+    match Json.member "job" req with
+    | Some j -> Job.spec_of_json j
+    | None -> Error "submit request missing \"job\""
+  with
+  | Error why -> ignore (send st cl (error_response "%s" why))
+  | Ok spec -> (
+      let spec =
+        match (spec.Job.deadline_s, st.cfg.default_deadline_s) with
+        | None, Some d -> { spec with Job.deadline_s = Some d }
+        | _ -> spec
+      in
+      let wait = Json.mem_bool "wait" req <> Some false in
+      let fp = Job.fingerprint spec in
+      match stored_result st fp with
+      | Some stored ->
+          (* Replay from the durable result store: byte-identical to the
+             run that produced it, zero solves. *)
+          st.c.cache_served <- st.c.cache_served + 1;
+          ignore (send st cl (result_response ~id:("cached-" ^ fp) ~cached:true stored))
+      | None -> (
+          match Hashtbl.find_opt st.by_fp fp with
+          | Some id ->
+              (* In-flight dedup: N clients asking the same point share
+                 one worker. *)
+              st.c.deduped <- st.c.deduped + 1;
+              if wait then begin
+                let fds =
+                  match Hashtbl.find_opt st.waiters id with
+                  | Some fds -> fds
+                  | None ->
+                      let fds = ref [] in
+                      Hashtbl.replace st.waiters id fds;
+                      fds
+                in
+                if not (List.memq cl.cfd !fds) then fds := cl.cfd :: !fds
+              end;
+              ignore
+                (send st cl
+                   (Json.Obj
+                      [
+                        ("type", Json.Str "accepted");
+                        ("id", Json.Str id);
+                        ("fp", Json.Str fp);
+                        ("deduped", Json.Bool true);
+                      ]))
+          | None ->
+              if !(st.draining) then
+                ignore
+                  (send st cl
+                     (Json.Obj
+                        [
+                          ("type", Json.Str "draining");
+                          ( "message",
+                            Json.Str "daemon is draining; resubmit after restart" );
+                        ]))
+              else if Breaker.state st.breaker = Breaker.Open then begin
+                (* Circuit open: degrade to cache-only serving. *)
+                st.c.breaker_rejects <- st.c.breaker_rejects + 1;
+                st.c.shed <- st.c.shed + 1;
+                ignore
+                  (send st cl
+                     (Json.Obj
+                        [
+                          ("type", Json.Str "degraded");
+                          ( "message",
+                            Json.Str
+                              "worker fleet unhealthy; serving cached results only" );
+                          ("retry_after_s", Json.Num (Breaker.retry_after_s st.breaker));
+                        ]))
+              end
+              else if Queue.length st.pending >= st.cfg.queue_cap then begin
+                (* Bounded admission: shed load with a structured
+                   refusal instead of growing without bound. *)
+                st.c.shed <- st.c.shed + 1;
+                ignore
+                  (send st cl
+                     (Json.Obj
+                        [
+                          ("type", Json.Str "overloaded");
+                          ("queue_depth", Json.Num (float_of_int (Queue.length st.pending)));
+                          ( "retry_after_s",
+                            Json.Num (2.0 *. float_of_int (Queue.length st.pending)) );
+                        ]))
+              end
+              else begin
+                let e = Jobqueue.submit st.q spec in
+                let id = e.Jobqueue.id in
+                Queue.add id st.pending;
+                Hashtbl.replace st.by_fp fp id;
+                st.c.accepted <- st.c.accepted + 1;
+                if wait then Hashtbl.replace st.waiters id (ref [ cl.cfd ])
+                else Hashtbl.replace st.detached id ();
+                ignore
+                  (send st cl
+                     (Json.Obj
+                        [
+                          ("type", Json.Str "accepted");
+                          ("id", Json.Str id);
+                          ("fp", Json.Str fp);
+                          ("deduped", Json.Bool false);
+                        ]));
+                if fault_fires st (Fault.Drop_client id) then begin
+                  Format.printf "verifyd: fault drop-client@%s firing@." id;
+                  Format.pp_print_flush Format.std_formatter ();
+                  drop_client st cl.cfd
+                end
+              end))
+
+let handle_request st cl line =
+  match Json.parse line with
+  | Error why -> ignore (send st cl (error_response "bad request: %s" why))
+  | Ok req -> (
+      match Json.mem_str "cmd" req with
+      | Some "submit" -> handle_submit st cl req
+      | Some "status" -> ignore (send st cl (status_json st))
+      | Some "cache-gc" -> (
+          let max_mb =
+            match Json.mem_num "max_mb" req with
+            | Some f when f >= 0.0 -> Some (int_of_float f)
+            | _ -> st.cfg.cache_max_mb
+          in
+          match max_mb with
+          | None ->
+              ignore
+                (send st cl
+                   (error_response
+                      "cache-gc needs max_mb (or start verifyd with --cache-max-mb)"))
+          | Some mb ->
+              let s = Supervise.Cache.gc st.cache ~max_bytes:(mb * 1024 * 1024) in
+              ignore
+                (send st cl
+                   (Json.Obj
+                      [
+                        ("type", Json.Str "cache-gc");
+                        ("entries", Json.Num (float_of_int s.Supervise.Cache.entries));
+                        ("bytes", Json.Num (float_of_int s.Supervise.Cache.bytes));
+                        ("evicted", Json.Num (float_of_int s.Supervise.Cache.evicted));
+                        ( "evicted_bytes",
+                          Json.Num (float_of_int s.Supervise.Cache.evicted_bytes) );
+                      ])))
+      | Some "stop" ->
+          st.draining := true;
+          ignore
+            (send st cl
+               (Json.Obj [ ("type", Json.Str "stopping"); ("draining", Json.Bool true) ]))
+      | Some c -> ignore (send st cl (error_response "unknown command %S" c))
+      | None -> ignore (send st cl (error_response "request without \"cmd\"")))
+
+(* Consume complete lines out of a client's receive buffer. *)
+let feed_client st cl bytes n chunk =
+  Buffer.add_subbytes cl.cbuf chunk 0 n;
+  ignore bytes;
+  let rec go () =
+    let s = Buffer.contents cl.cbuf in
+    match String.index_opt s '\n' with
+    | None -> ()
+    | Some i ->
+        Buffer.clear cl.cbuf;
+        Buffer.add_string cl.cbuf (String.sub s (i + 1) (String.length s - i - 1));
+        let line = String.sub s 0 i in
+        if String.trim line <> "" then handle_request st cl line;
+        (* The client may have been dropped by its own request
+           (drop-client fault); stop feeding it then. *)
+        if List.exists (fun c -> c.cfd == cl.cfd) st.clients then go ()
+  in
+  go ()
+
+(* ----------------------------------------------------------------- *)
+(* The main loop *)
+
+let drain_exit st =
+  (* Pending jobs stay checkpointed in the fsync'd ledger; tell anyone
+     still waiting on one, then flush and leave cleanly. *)
+  let checkpointed = Queue.length st.pending in
+  Queue.iter
+    (fun id ->
+      notify st id
+        (Json.Obj
+           [
+             ("type", Json.Str "draining");
+             ("id", Json.Str id);
+             ( "message",
+               Json.Str "job checkpointed in the queue ledger; resubmit after restart"
+             );
+           ]))
+    st.pending;
+  Jobqueue.fsync st.q;
+  Jobqueue.close st.q;
+  List.iter (fun c -> close_fd c.cfd) st.clients;
+  close_fd st.listen;
+  (try Unix.unlink st.sock with Unix.Unix_error _ -> ());
+  Format.printf
+    "verifyd: drained — 0 jobs in flight, %d pending checkpointed; exit 0@."
+    checkpointed;
+  Format.pp_print_flush Format.std_formatter ();
+  0
+
+let interrupt_exit st =
+  List.iter
+    (fun w -> try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+    st.workers;
+  List.iter
+    (fun w -> try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+    st.workers;
+  Jobqueue.fsync st.q;
+  Jobqueue.close st.q;
+  List.iter (fun c -> close_fd c.cfd) st.clients;
+  close_fd st.listen;
+  (try Unix.unlink st.sock with Unix.Unix_error _ -> ());
+  Format.printf "verifyd: interrupted — checkpoint saved; resume with --resume@.";
+  Format.pp_print_flush Format.std_formatter ();
+  130
+
+let loop st =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    reap st;
+    enforce_deadlines st;
+    dispatch st;
+    if !(st.interrupted) then interrupt_exit st
+    else if !(st.draining) && st.workers = [] then drain_exit st
+    else begin
+      let fds = st.listen :: List.map (fun c -> c.cfd) st.clients in
+      (match Unix.select fds [] [] 0.05 with
+      | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd == st.listen then (
+                match Unix.accept st.listen with
+                | cfd, _ ->
+                    st.clients <- { cfd; cbuf = Buffer.create 256 } :: st.clients
+                | exception Unix.Unix_error _ -> ())
+              else
+                match List.find_opt (fun c -> c.cfd == fd) st.clients with
+                | None -> ()
+                | Some cl -> (
+                    match Unix.read fd chunk 0 (Bytes.length chunk) with
+                    | 0 -> drop_client st fd
+                    | n -> feed_client st cl 0 n chunk
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+                      ->
+                        drop_client st fd
+                    | exception Unix.Unix_error _ -> drop_client st fd))
+            readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+(* ----------------------------------------------------------------- *)
+(* Startup *)
+
+let run cfg =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("verifyd: " ^ m); 1) fmt in
+  Ioutil.mkdir_p cfg.run_dir;
+  match Supervise.Lock.acquire ~dir:cfg.run_dir ~wait_s:cfg.lock_wait_s () with
+  | Error diag -> fail "%s" diag
+  | Ok _ -> (
+      match Jobqueue.open_ ~dir:cfg.run_dir with
+      | Error why -> fail "%s" why
+      | Ok (q, recovered, diags) ->
+          List.iter (fun d -> Log.warn (fun k -> k "%s" d)) diags;
+          if Jobqueue.had_entries q && not cfg.resume then
+            fail
+              "{\"error\":\"queue-not-resumed\",\"message\":\"run directory %s has a \
+               job-queue ledger; restart with --resume (or use a fresh directory)\"}"
+              (String.concat "" [ cfg.run_dir ])
+          else begin
+            let sock = socket_path cfg in
+            (try Unix.unlink sock with Unix.Unix_error _ -> ());
+            let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            match
+              Unix.bind listen (Unix.ADDR_UNIX sock);
+              Unix.listen listen 64
+            with
+            | exception Unix.Unix_error (err, _, _) ->
+                close_fd listen;
+                fail "cannot listen on %s: %s" sock (Unix.error_message err)
+            | () ->
+                Ioutil.mkdir_p (Filename.concat cfg.run_dir "results");
+                Ioutil.mkdir_p (Filename.concat cfg.run_dir "outbox");
+                let cache =
+                  Supervise.Cache.create ~dir:(Filename.concat cfg.run_dir "cache")
+                in
+                let draining = ref false and interrupted = ref false in
+                Sys.set_signal Sys.sigterm
+                  (Sys.Signal_handle (fun _ -> draining := true));
+                Sys.set_signal Sys.sigint
+                  (Sys.Signal_handle (fun _ -> interrupted := true));
+                (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+                 with Invalid_argument _ -> ());
+                let st =
+                  {
+                    cfg;
+                    sock;
+                    q;
+                    cache;
+                    listen;
+                    clients = [];
+                    pending = Queue.create ();
+                    workers = [];
+                    waiters = Hashtbl.create 16;
+                    detached = Hashtbl.create 16;
+                    by_fp = Hashtbl.create 16;
+                    retries = Hashtbl.create 16;
+                    not_before = Hashtbl.create 16;
+                    breaker =
+                      Breaker.create ~threshold:cfg.breaker_threshold
+                        ~cooldown_s:cfg.breaker_cooldown_s ~now:Unix.gettimeofday ();
+                    c =
+                      {
+                        submits = 0;
+                        accepted = 0;
+                        shed = 0;
+                        deduped = 0;
+                        cache_served = 0;
+                        breaker_rejects = 0;
+                        completed = 0;
+                        crashes = 0;
+                        timeouts = 0;
+                        cancelled = 0;
+                      };
+                    fired = [];
+                    draining;
+                    interrupted;
+                  }
+                in
+                (* Recovered jobs re-dispatch detached: their original
+                   clients are gone; completed solves replay from the
+                   cache, so recovery costs zero re-solves. *)
+                List.iter
+                  (fun (e : Jobqueue.entry) ->
+                    Queue.add e.Jobqueue.id st.pending;
+                    Hashtbl.replace st.by_fp e.Jobqueue.fp e.Jobqueue.id;
+                    Hashtbl.replace st.detached e.Jobqueue.id ())
+                  recovered;
+                maybe_cache_gc st;
+                Format.printf
+                  "verifyd: listening on %s (run dir %s, %d workers, queue cap %d%s)@."
+                  sock cfg.run_dir cfg.workers cfg.queue_cap
+                  (if recovered <> [] then
+                     Printf.sprintf "; recovered %d in-flight job(s)"
+                       (List.length recovered)
+                   else "");
+                Format.pp_print_flush Format.std_formatter ();
+                loop st
+          end)

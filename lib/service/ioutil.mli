@@ -1,0 +1,21 @@
+(** Small durable-file helpers shared by the service layer: atomic
+    writes (tmp + fsync + rename + directory fsync), tolerant reads, and
+    recursive directory creation. Kept deliberately tiny — the solve
+    cache and journal have their own copies inside {!Supervise}; these
+    serve the queue ledger, the per-fingerprint result store and the
+    worker outbox. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents; existing is fine. *)
+
+val fsync_dir : string -> unit
+(** fsync a directory fd so a just-renamed file survives power loss;
+    no-op on platforms/filesystems that refuse directory fsync. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write contents to [path] atomically: a pid-unique temp file in the
+    same directory is written, fsync'd and renamed over [path], then the
+    directory is fsync'd. Readers never observe a partial file. *)
+
+val read_file : string -> string option
+(** Whole file, or [None] when missing/unreadable. *)

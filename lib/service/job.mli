@@ -1,0 +1,127 @@
+(** The library-level verify-job API shared by the [verify_pll] CLI and
+    the [verifyd] daemon, so verdict and exit-code semantics are defined
+    once.
+
+    A {!spec} names everything that determines the verification problem:
+    the PLL order, a relative parameter point (multiples of the Table-1
+    nominals, empty = nominal model), the property (P1 attractive
+    invariant only, or the full P1+P2 inevitability pipeline), the
+    certificate degree and search knobs, plus a per-job pipeline
+    deadline. {!fingerprint} canonically hashes the problem-determining
+    fields — deliberately excluding the deadline, which changes how hard
+    a job may try but not what a {e clean} result means — and is what
+    the daemon dedups in-flight jobs and keys its result store by.
+
+    {!run} executes the job under a caller-supplied {!Resilient.policy}
+    (so the CLI can wire its own retry ladder and the daemon can attach
+    its per-worker supervision context) and returns a flat, marshal-free
+    {!outcome} whose deterministic core ({!result_json}) is byte-stable:
+    replaying the same spec against a warm solve cache reproduces it
+    exactly. *)
+
+type property = P1 | Full
+
+val property_of_name : string -> (property, string) result
+(** ["p1"] or ["full"]. *)
+
+type spec = {
+  order : Pll.order;
+  property : property;
+  degree : int;
+  robust : bool;  (** vertex-robust decrease over the coefficient box *)
+  point : (Pll.axis * float) list;
+      (** relative parameter point; each value replaces that axis's
+          Table-1 interval with the degenerate point [v * nominal] *)
+  bisect_steps : int;  (** P1 level-maximization bisection steps *)
+  advect_iters : int;  (** Full-pipeline advection iteration cap *)
+  psd_tol : float option;  (** a-posteriori PSD tolerance override *)
+  eq_tol : float option;  (** a-posteriori equality tolerance override *)
+  deadline_s : float option;
+      (** per-job pipeline deadline (excluded from the fingerprint) *)
+}
+
+val default_spec : Pll.order -> spec
+(** P1 at the paper degree for the order (6/4), nominal point,
+    non-robust, 6 bisection steps, 25 advection iterations, default
+    tolerances, no deadline. *)
+
+val validate : spec -> (unit, string) result
+(** Structural sanity: positive finite point values, no duplicate axes,
+    positive degree, non-negative step counts. Whether an axis exists at
+    this order is checked by {!run} (a [bad-point] failure). *)
+
+val to_line : ?with_deadline:bool -> spec -> string
+(** Canonical one-line rendering (floats in hex so the round-trip is
+    exact); the fingerprint input. [with_deadline] (default false)
+    appends the deadline — the queue ledger stores that variant so a
+    recovered job keeps its budget. *)
+
+val of_line : string -> (spec, string) result
+(** Inverse of {!to_line} (either variant). *)
+
+val fingerprint : spec -> string
+(** Hex digest of [to_line spec] — the dedup/result-store key. *)
+
+val point_of_string : string -> ((Pll.axis * float) list, string) result
+(** Parse a CLI point spec like ["ip=1.05,kv=0.9"]. Empty string is the
+    nominal point. *)
+
+val point_to_string : (Pll.axis * float) list -> string
+
+val spec_to_json : spec -> Json.t
+(** Wire encoding (the [job] object of a submit request). *)
+
+val spec_of_json : Json.t -> (spec, string) result
+(** Decode a wire job object; omitted fields take {!default_spec}
+    values for the given (required) [order]. *)
+
+(** The three verdicts of the established exit-code convention. *)
+type verdict = Verified | Not_established | Failed
+
+val verdict_to_string : verdict -> string
+val verdict_of_string : string -> (verdict, string) result
+
+val exit_code : verdict -> int
+(** [0] verified, [2] not established, [1] failure — the shared
+    CLI/daemon exit-code discipline (124 usage and 130 interrupted are
+    decided by the drivers). *)
+
+type outcome = {
+  verdict : verdict;
+  beta : float;  (** maximized invariant level when verified, else 0 *)
+  kind : string;
+      (** deterministic diagnosis kind when not verified: [infeasible],
+          [level-collapse], [not-established], [validation-failed],
+          [solver-failure], [budget-exhausted], [crash], [bad-point] *)
+  detail : string;  (** deterministic short detail *)
+  solves : int;  (** logical solves this run spent (0 on full replay) *)
+  attempts : int;
+  attempt_s : float;
+  deadline_hit : bool;
+}
+
+val result_json : outcome -> string
+(** The deterministic core only — verdict, beta, kind, detail — no
+    timings or counters, so a cache-replayed job reproduces the stored
+    bytes exactly. This is what the daemon persists per fingerprint and
+    what [service_smoke] compares across restarts. *)
+
+val result_of_json : Json.t -> (outcome, string) result
+(** Decode a stored {!result_json} document (counters read as 0). *)
+
+val make_policy :
+  ?supervise:Supervise.ctx -> ?faults:Resilient.Faults.plan -> spec -> Resilient.policy
+(** The daemon-side policy for a job: default ladder, the spec's
+    deadline as the pipeline deadline, optional supervision context. *)
+
+val run :
+  policy:Resilient.policy ->
+  ?validate:(Pll_core.Inevitability.report -> bool) ->
+  spec ->
+  outcome
+(** Execute the job. [validate] (Full property only) is the CLI's hook
+    for printing the pipeline report and running extra checks (e.g.
+    Monte-Carlo simulation); returning [false] downgrades a verified
+    run to [Not_established] with kind [validation-failed]. Catches
+    everything except {!Supervise.Interrupted}, which is re-raised so
+    drivers can checkpoint and exit 130. *)

@@ -1,0 +1,75 @@
+(** The daemon's crash-safe durable job queue: an fsync'd append-only
+    ledger ([queue.log] in the run directory) that records every job
+    admission and state change, replayed on restart.
+
+    Ledger format (line-oriented, write-ahead — each line fsync'd before
+    the daemon acts on it):
+
+    {v
+    pll-queue v1
+    seq <next-seq>
+    submit <id> <fingerprint> <canonical job line (with deadline)>
+    start <id>
+    done <id> <verdict>
+    cancel <id>
+    v}
+
+    Last event per id wins. On {!open_}, the surviving ledger is
+    compacted: terminal jobs (done/cancelled) are dropped — their
+    results live in the daemon's per-fingerprint result store — and
+    non-terminal jobs (pending, or running when the daemon was killed)
+    are rewritten as fresh [submit] lines and returned as {e recovered}
+    entries for re-dispatch; their solves replay from the content-
+    addressed solve cache, so recovery costs zero re-solves for
+    anything that completed. The [seq] high-water line keeps job ids
+    unique across restarts. Malformed lines (e.g. truncated by the
+    crash) are skipped with a diagnosis, never a raise. *)
+
+type state =
+  | Pending
+  | Running
+  | Done of Job.verdict
+  | Cancelled
+
+type entry = {
+  id : string;  (** [j<seq>], unique across restarts of one run dir *)
+  fp : string;  (** {!Job.fingerprint} of the spec *)
+  spec : Job.spec;
+  mutable state : state;
+}
+
+type t
+
+val path : string -> string
+(** Ledger file path for a run directory. *)
+
+val open_ :
+  dir:string -> (t * entry list * string list, string) result
+(** Open (creating if absent) the queue of a run directory: replays and
+    compacts the ledger, then reopens it for fsync'd appends. Returns
+    the recovered non-terminal entries (now pending, in original submit
+    order) and one diagnosis per malformed line. *)
+
+val had_entries : t -> bool
+(** Whether the ledger already had any entries (terminal or not) when
+    opened — the daemon refuses such a directory without [--resume]. *)
+
+val submit : t -> Job.spec -> entry
+(** Admit a job: assign the next id, ledger the [submit] line (fsync'd)
+    and return the pending entry. *)
+
+val start : t -> entry -> unit
+val finish : t -> entry -> Job.verdict -> unit
+val cancel : t -> entry -> unit
+
+val find : t -> string -> entry option
+(** Entry by job id. *)
+
+val entries : t -> entry list
+(** All entries known to this handle, in submit order. *)
+
+val fsync : t -> unit
+(** Force the ledger to disk (appends already fsync; this is the final
+    belt-and-braces flush of the SIGTERM drain path). *)
+
+val close : t -> unit

@@ -172,7 +172,12 @@ module Cache = struct
                           Error Digest_mismatch
                         else begin
                           match (Marshal.from_string payload 0 : Sdp.solution) with
-                          | sol -> Ok sol
+                          | sol ->
+                              (* Touch on hit: [gc]'s LRU order is entry
+                                 mtime, so reads must refresh it. *)
+                              (try Unix.utimes file 0.0 0.0
+                               with Unix.Unix_error _ -> ());
+                              Ok sol
                           | exception (Failure m | Invalid_argument m) ->
                               Error (Decode_failure m)
                         end)
@@ -188,6 +193,82 @@ module Cache = struct
         output_string oc (String.sub content 0 keep);
         close_out oc;
         true
+
+  (* ---- size-capped LRU eviction (the long-running-daemon story) ---- *)
+
+  type gc_stats = {
+    entries : int;
+    bytes : int;
+    evicted : int;
+    evicted_bytes : int;
+  }
+
+  let entry_suffix = ".solve"
+
+  let scan t =
+    let names = try Sys.readdir t.dir with Sys_error _ -> [||] in
+    let acc = ref [] in
+    Array.iter
+      (fun name ->
+        if Filename.check_suffix name entry_suffix then begin
+          let file = Filename.concat t.dir name in
+          match Unix.stat file with
+          | st -> acc := (name, st.Unix.st_mtime, st.Unix.st_size) :: !acc
+          | exception Unix.Unix_error _ -> ()
+        end)
+      names;
+    !acc
+
+  let usage t =
+    List.fold_left (fun (n, b) (_, _, sz) -> (n + 1, b + sz)) (0, 0) (scan t)
+
+  let gc t ~max_bytes =
+    (* Leftover tmp files (writers that crashed mid-store) age out too:
+       they are invisible to the loader but not to the disk. *)
+    let now = Unix.gettimeofday () in
+    let is_stale_tmp name =
+      (* write_atomic temp names are <key>.solve.tmp.<pid>. *)
+      let marker = entry_suffix ^ ".tmp." in
+      let nm = String.length marker and nn = String.length name in
+      let rec has i = i + nm <= nn && (String.sub name i nm = marker || has (i + 1)) in
+      has 0
+    in
+    Array.iter
+      (fun name ->
+        if is_stale_tmp name then
+          let file = Filename.concat t.dir name in
+          match Unix.stat file with
+          | st when now -. st.Unix.st_mtime > 600.0 -> (
+              try Sys.remove file with Sys_error _ -> ())
+          | _ | (exception Unix.Unix_error _) -> ())
+      (try Sys.readdir t.dir with Sys_error _ -> [||]);
+    (* Oldest-mtime-first eviction, name as a deterministic tiebreak. *)
+    let entries =
+      List.sort
+        (fun (n1, m1, _) (n2, m2, _) -> if m1 <> m2 then compare m1 m2 else compare n1 n2)
+        (scan t)
+    in
+    let total = List.fold_left (fun b (_, _, sz) -> b + sz) 0 entries in
+    let rec evict kept_rev over = function
+      | [] -> (List.rev kept_rev, over)
+      | (name, _, sz) :: rest when over > 0 ->
+          let file = Filename.concat t.dir name in
+          let gone = try Sys.remove file; true with Sys_error _ -> false in
+          if gone then evict kept_rev (over - sz) rest
+          else evict ((name, sz) :: kept_rev) over rest
+      | (name, _, sz) :: rest -> evict ((name, sz) :: kept_rev) over rest
+    in
+    let kept, remaining_over = evict [] (total - max_bytes) entries in
+    ignore remaining_over;
+    (* Make the deletions durable the same way stores are. *)
+    fsync_dir t.dir;
+    let bytes = List.fold_left (fun b (_, sz) -> b + sz) 0 kept in
+    {
+      entries = List.length kept;
+      bytes;
+      evicted = List.length entries - List.length kept;
+      evicted_bytes = total - bytes;
+    }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -337,14 +418,42 @@ module Lock = struct
       | exception Unix.Unix_error (Unix.EEXIST, _, _) -> (
           match holder ~dir with
           | Some pid when pid = Unix.getpid () -> Ok Reentrant
-          | Some pid when not (alive pid) ->
+          | Some pid when not (alive pid) -> (
               (* The holder died (kill -9, OOM): steal the stale lock.
-                 O_EXCL serializes concurrent stealers — the loser just
-                 loops and finds the winner's fresh lock. *)
-              Log.warn (fun k ->
-                  k "stealing stale lock %s held by dead process %d" file pid);
-              (try Sys.remove file with Sys_error _ -> ());
-              go ~stole:(Some pid)
+                 The steal must itself be atomic — two contenders racing
+                 the same stale pidfile must produce exactly one winner.
+                 A bare remove-then-recreate is not: the slower stealer's
+                 remove can delete the faster one's *fresh* lock. So the
+                 stale file is renamed aside to a contender-unique claim
+                 (atomic; exactly one rename of the inode succeeds) and
+                 the claim's payload re-verified before the normal
+                 O_EXCL creation race resumes. *)
+              let claim = Printf.sprintf "%s.claim.%d" file (Unix.getpid ()) in
+              match Unix.rename file claim with
+              | exception Unix.Unix_error _ ->
+                  (* Another contender renamed it first: re-examine. *)
+                  go ~stole
+              | () -> (
+                  let claimed =
+                    match read_file claim with
+                    | exception Sys_error _ -> None
+                    | content -> int_of_string_opt (String.trim content)
+                  in
+                  match claimed with
+                  | Some p when not (alive p) ->
+                      (try Sys.remove claim with Sys_error _ -> ());
+                      Log.warn (fun k ->
+                          k "stealing stale lock %s held by dead process %d" file p);
+                      go ~stole:(Some p)
+                  | _ ->
+                      (* The dead holder was replaced by a live one
+                         between our read and our rename: we grabbed a
+                         valid lock by mistake. Put it back — [link]
+                         never clobbers a lock recreated meanwhile — and
+                         fall through to normal contention. *)
+                      (try Unix.link claim file with Unix.Unix_error _ -> ());
+                      (try Sys.remove claim with Sys_error _ -> ());
+                      go ~stole))
           | Some pid ->
               if Unix.gettimeofday () < deadline then begin
                 Unix.sleepf 0.05;

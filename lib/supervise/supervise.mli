@@ -107,6 +107,28 @@ module Cache : sig
   val corrupt : t -> key:string -> bool
   (** Truncate the entry for [key] in place (deliberately non-atomic) —
       the [corrupt-cache] fault. [false] when no entry exists. *)
+
+  (** What a {!gc} pass did. *)
+  type gc_stats = {
+    entries : int;  (** entries remaining after the pass *)
+    bytes : int;  (** payload bytes remaining *)
+    evicted : int;
+    evicted_bytes : int;
+  }
+
+  val usage : t -> int * int
+  (** [(entries, bytes)] currently stored. *)
+
+  val gc : t -> max_bytes:int -> gc_stats
+  (** Size-capped LRU eviction: entries are deleted oldest-access first
+      (every {!load} hit refreshes its entry's mtime) until the cache
+      fits in [max_bytes]; the directory is fsync'd afterwards so the
+      deletions are as durable as the atomic stores were. Stale
+      [*.tmp.*] droppings left by writers that crashed mid-store are
+      removed too. Safe to run concurrently with readers and writers:
+      eviction is per-entry unlink, and a racing store simply
+      re-creates its entry. This is what keeps a long-running daemon's
+      content-addressed cache bounded ([verifyd --cache-max-mb]). *)
 end
 
 (** The write-ahead run journal, [journal.log] in the run directory:

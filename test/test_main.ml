@@ -17,4 +17,5 @@ let () =
       ("barrier", Test_barrier.suite);
       ("core", Test_core.suite);
       ("atlas", Test_atlas.suite);
+      ("service", Test_service.suite);
     ]

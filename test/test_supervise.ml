@@ -110,6 +110,57 @@ let test_cache_digest_mismatch () =
       Alcotest.fail ("expected Digest_mismatch, got " ^ Supervise.Cache.error_to_string e)
   | Ok _ -> Alcotest.fail "corrupted entry loaded"
 
+(* Size-capped LRU eviction over the content-addressed cache. *)
+
+let test_cache_gc_lru () =
+  let c = Supervise.Cache.create ~dir:(tmp_dir ()) in
+  let sol = Sdp.solve (small_problem ()) in
+  let keys = [ "aaaa"; "bbbb"; "cccc" ] in
+  List.iter
+    (fun key ->
+      match Supervise.Cache.store c ~key sol with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    keys;
+  (* Deterministic ages: aaaa oldest, cccc newest. *)
+  let now = Unix.gettimeofday () in
+  List.iteri
+    (fun i key ->
+      let t = now -. 100.0 +. (10.0 *. float_of_int i) in
+      Unix.utimes (Supervise.Cache.path c ~key) t t)
+    keys;
+  let entries, bytes = Supervise.Cache.usage c in
+  Alcotest.(check int) "three entries counted" 3 entries;
+  Alcotest.(check bool) "bytes accounted" true (bytes > 0);
+  let per = bytes / 3 in
+  (* A stale tmp file from a crashed writer is swept too. *)
+  let stale = Filename.concat (Filename.dirname (Supervise.Cache.path c ~key:"x"))
+                "dead.solve.tmp.999" in
+  let oc = open_out stale in
+  output_string oc "partial";
+  close_out oc;
+  Unix.utimes stale (now -. 3600.0) (now -. 3600.0);
+  let st = Supervise.Cache.gc c ~max_bytes:(2 * per) in
+  Alcotest.(check int) "oldest entry evicted" 1 st.Supervise.Cache.evicted;
+  Alcotest.(check int) "survivors" 2 st.Supervise.Cache.entries;
+  Alcotest.(check bool) "stale tmp swept" false (Sys.file_exists stale);
+  (match Supervise.Cache.load c ~key:"aaaa" with
+  | Error Supervise.Cache.Missing -> ()
+  | _ -> Alcotest.fail "LRU must evict the oldest entry first");
+  (* Loading refreshes recency: bbbb (touched by the load) must now
+     outlive cccc under a tighter cap. *)
+  (match Supervise.Cache.load c ~key:"bbbb" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Supervise.Cache.error_to_string e));
+  let st2 = Supervise.Cache.gc c ~max_bytes:per in
+  Alcotest.(check int) "one more eviction" 1 st2.Supervise.Cache.evicted;
+  (match Supervise.Cache.load c ~key:"bbbb" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "recently used entry evicted");
+  match Supervise.Cache.load c ~key:"cccc" with
+  | Error Supervise.Cache.Missing -> ()
+  | _ -> Alcotest.fail "least recently used entry survived"
+
 (* ---- journal ---- *)
 
 let test_journal_tolerant_read () =
@@ -350,6 +401,73 @@ let test_lock_steals_stale () =
   | _ -> Alcotest.fail "stale lock must be stolen");
   Supervise.Lock.release ~dir
 
+(* Two live contenders racing the same stale pidfile: the claim
+   protocol must elect exactly one winner; the loser gets the
+   structured run-dir-locked refusal, and the survivor pidfile names
+   the winner. *)
+let test_lock_stale_steal_contention () =
+  let dir = lock_tmpdir () in
+  let dead =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  let oc = open_out (Supervise.Lock.path dir) in
+  output_string oc (string_of_int dead);
+  close_out oc;
+  let go_r, go_w = Unix.pipe () in
+  let contender () =
+    match Unix.fork () with
+    | 0 ->
+        Unix.close go_w;
+        (* Block until the parent fires the start gun, so both
+           contenders hit the stale file as close together as fork
+           allows. *)
+        ignore (Unix.read go_r (Bytes.create 1) 0 1);
+        Unix.close go_r;
+        let outcome =
+          match Supervise.Lock.acquire ~dir ~wait_s:0.0 () with
+          | Ok _ -> 0 (* winner *)
+          | Error diag when contains diag "run-dir-locked" -> 1 (* loser *)
+          | Error _ -> 2
+        in
+        Unix._exit outcome
+    | pid -> pid
+  in
+  let a = contender () in
+  let b = contender () in
+  Unix.close go_r;
+  ignore (Unix.write_substring go_w "go" 0 2);
+  Unix.close go_w;
+  let wait pid =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED c -> c
+    | _ -> 2
+  in
+  let ra = wait a and rb = wait b in
+  let outcomes = List.sort compare [ ra; rb ] in
+  Alcotest.(check (list int)) "exactly one winner, one structured refusal"
+    [ 0; 1 ] outcomes;
+  (* The survivor pidfile must name the winner (a live contender), not
+     the dead pid and not a mix of both writes. *)
+  (match Supervise.Lock.holder ~dir with
+  | Some pid ->
+      Alcotest.(check bool) "holder is the winner" true (pid = a || pid = b);
+      Alcotest.(check bool) "stale holder fully replaced" true (pid <> dead)
+  | None -> Alcotest.fail "no holder after a successful steal");
+  (* The winner has exited by now, so its lock is stale in turn and a
+     third contender steals it cleanly — the protocol leaves no debris
+     (claim files) that would wedge future acquisitions. *)
+  (match Supervise.Lock.acquire ~dir ~wait_s:0.0 () with
+  | Ok (Supervise.Lock.Stolen_stale pid) ->
+      Alcotest.(check bool) "third contender steals the dead winner's lock" true
+        (pid = a || pid = b)
+  | Ok _ -> Alcotest.fail "expected a stale steal, not a fresh acquire"
+  | Error diag -> Alcotest.fail ("third contender refused: " ^ diag));
+  Supervise.Lock.release ~dir
+
 let test_lock_refuses_live_holder () =
   let dir = lock_tmpdir () in
   (* A live holder this process does not own: init (pid 1). *)
@@ -384,6 +502,8 @@ let suite =
     Alcotest.test_case "fingerprint-stable" `Quick test_fingerprint_stable;
     Alcotest.test_case "lock-acquire-reenter" `Quick test_lock_acquire_and_reenter;
     Alcotest.test_case "lock-steals-stale" `Quick test_lock_steals_stale;
+    Alcotest.test_case "lock-stale-steal-contention" `Quick test_lock_stale_steal_contention;
+    Alcotest.test_case "cache-gc-lru" `Quick test_cache_gc_lru;
     Alcotest.test_case "lock-refuses-live-holder" `Quick test_lock_refuses_live_holder;
     Alcotest.test_case "config-guard" `Quick test_config_guard;
     Alcotest.test_case "fingerprint-ignores-hooks" `Quick test_fingerprint_ignores_hooks;

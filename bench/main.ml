@@ -566,15 +566,21 @@ let kernels () =
 (* ------------------------------------------------------------------ *)
 
 (* Per-artifact accounting for --json: wall clock, CPU seconds of this
-   process, interior-point solve count, and the supervision cache
-   counters when a context is active. *)
+   process, interior-point solve/iteration counts, warm-start session
+   counters, and the supervision cache counters when a context is
+   active. [cache_hit_rate] is hits over supervised requests — a real
+   rate now that the bench cache dir persists across runs. *)
 type row = {
   name : string;
   wall_s : float;
   cpu_s : float;
   solves : int;
+  iterations : int;
+  warm_accepted : int;
+  warm_rejected : int;
   cache_hits : int;
   cache_stores : int;
+  cache_hit_rate : float;
   atlas_cells : int;
   atlas_certified : int;
   atlas_quarantined : int;
@@ -586,33 +592,37 @@ type row = {
 
 let row_to_json r =
   Printf.sprintf
-    "{\"name\":\"%s\",\"wall_s\":%.3f,\"cpu_s\":%.3f,\"solves\":%d,\"cache_hits\":%d,\"cache_stores\":%d,\"atlas_cells\":%d,\"atlas_certified\":%d,\"atlas_quarantined\":%d,\"service_accepted\":%d,\"service_shed\":%d,\"service_deduped\":%d,\"service_hit_rate\":%.3f}"
-    r.name r.wall_s r.cpu_s r.solves r.cache_hits r.cache_stores r.atlas_cells
-    r.atlas_certified r.atlas_quarantined r.service_accepted r.service_shed
-    r.service_deduped r.service_hit_rate
+    "{\"name\":\"%s\",\"wall_s\":%.3f,\"cpu_s\":%.3f,\"solves\":%d,\"iterations\":%d,\"warm_accepted\":%d,\"warm_rejected\":%d,\"cache_hits\":%d,\"cache_stores\":%d,\"cache_hit_rate\":%.3f,\"atlas_cells\":%d,\"atlas_certified\":%d,\"atlas_quarantined\":%d,\"service_accepted\":%d,\"service_shed\":%d,\"service_deduped\":%d,\"service_hit_rate\":%.3f}"
+    r.name r.wall_s r.cpu_s r.solves r.iterations r.warm_accepted r.warm_rejected
+    r.cache_hits r.cache_stores r.cache_hit_rate r.atlas_cells r.atlas_certified
+    r.atlas_quarantined r.service_accepted r.service_shed r.service_deduped
+    r.service_hit_rate
 
 let instrument rows (name, f) =
   ( name,
     fun () ->
-      let hits0, stores0 =
+      let hits0, stores0, sup0 =
         match !bench_ctx with
         | Some ctx ->
             let s = Supervise.stats ctx in
-            (s.Supervise.cache_hits, s.Supervise.cache_stores)
-        | None -> (0, 0)
+            (s.Supervise.cache_hits, s.Supervise.cache_stores, s.Supervise.supervised)
+        | None -> (0, 0, 0)
       in
       let solves0 = Sdp.solve_count () in
+      let iters0 = Sdp.iteration_count () in
+      let wt0 = Sdp.Session.totals () in
       let ac0, ace0, aq0 = !atlas_counters in
       let sa0, ss0, sd0, sc0, st0 = !service_counters in
       let w0 = Unix.gettimeofday () and c0 = Sys.time () in
       f ();
-      let hits1, stores1 =
+      let hits1, stores1, sup1 =
         match !bench_ctx with
         | Some ctx ->
             let s = Supervise.stats ctx in
-            (s.Supervise.cache_hits, s.Supervise.cache_stores)
-        | None -> (0, 0)
+            (s.Supervise.cache_hits, s.Supervise.cache_stores, s.Supervise.supervised)
+        | None -> (0, 0, 0)
       in
+      let wt1 = Sdp.Session.totals () in
       let ac1, ace1, aq1 = !atlas_counters in
       let sa1, ss1, sd1, sc1, st1 = !service_counters in
       rows :=
@@ -621,8 +631,14 @@ let instrument rows (name, f) =
           wall_s = Unix.gettimeofday () -. w0;
           cpu_s = Sys.time () -. c0;
           solves = Sdp.solve_count () - solves0;
+          iterations = Sdp.iteration_count () - iters0;
+          warm_accepted = wt1.Sdp.Session.warm_accepted - wt0.Sdp.Session.warm_accepted;
+          warm_rejected = wt1.Sdp.Session.warm_rejected - wt0.Sdp.Session.warm_rejected;
           cache_hits = hits1 - hits0;
           cache_stores = stores1 - stores0;
+          cache_hit_rate =
+            (if sup1 = sup0 then 0.0
+             else float_of_int (hits1 - hits0) /. float_of_int (sup1 - sup0));
           atlas_cells = ac1 - ac0;
           atlas_certified = ace1 - ace0;
           atlas_quarantined = aq1 - aq0;
@@ -644,7 +660,74 @@ let write_json path rows =
   close_out oc;
   Format.printf "@.[wrote %d artifact timing row(s) to %s]@." (List.length rows) path
 
+(* ------------------------------------------------------------------ *)
+(* bench ab <old.json> <new.json> — per-artifact deltas with a
+   noise-aware regression gate.                                       *)
+
+let ab_load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Service.Json.parse s with
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+  | Ok j -> (
+      match Service.Json.member "artifacts" j with
+      | Some a -> (
+          match Service.Json.arr a with
+          | Some rows ->
+              List.filter_map
+                (fun r ->
+                  match Service.Json.mem_str "name" r with
+                  | Some name ->
+                      let num k = Option.value ~default:0.0 (Service.Json.mem_num k r) in
+                      Some (name, (num "wall_s", num "cpu_s", num "iterations", num "cache_hit_rate"))
+                  | None -> None)
+                rows
+          | None -> failwith (path ^ ": \"artifacts\" is not an array"))
+      | None -> failwith (path ^ ": no \"artifacts\" member"))
+
+(* Regression = new wall exceeds old by 20% plus a 0.5s absolute floor,
+   so sub-second artifacts can't trip the gate on scheduler noise. *)
+let ab_regressed ~old_wall ~new_wall = new_wall > (old_wall *. 1.2) +. 0.5
+
+let ab old_path new_path =
+  let olds = ab_load old_path and news = ab_load new_path in
+  let regressions = ref [] in
+  Format.printf "  %-20s %22s %22s %18s %14s@." "artifact" "wall (s)" "cpu (s)"
+    "iterations" "cache hit rate";
+  List.iter
+    (fun (name, (nw, nc, ni, nh)) ->
+      match List.assoc_opt name olds with
+      | None -> Format.printf "  %-20s (new artifact: %.3fs wall)@." name nw
+      | Some (ow, oc, oi, oh) ->
+          let pct o n = if o = 0.0 then 0.0 else (n -. o) /. o *. 100.0 in
+          Format.printf "  %-20s %9.3f->%8.3f %s %9.3f->%8.3f %7.0f->%7.0f %6.2f->%6.2f@."
+            name ow nw
+            (Printf.sprintf "(%+.0f%%)" (pct ow nw))
+            oc nc oi ni oh nh;
+          if ab_regressed ~old_wall:ow ~new_wall:nw then regressions := name :: !regressions)
+    news;
+  List.iter
+    (fun (name, (ow, _, _, _)) ->
+      if not (List.mem_assoc name news) then
+        Format.printf "  %-20s (dropped; was %.3fs wall)@." name ow)
+    olds;
+  match !regressions with
+  | [] ->
+      Format.printf "@.  no wall-clock regressions (threshold: +20%% and +0.5s)@.";
+      0
+  | rs ->
+      Format.printf "@.  REGRESSION in: %s@." (String.concat ", " (List.rev rs));
+      1
+
 let () =
+  (match Array.to_list Sys.argv |> List.tl with
+  | [ "ab"; old_path; new_path ] -> exit (ab old_path new_path)
+  | "ab" :: _ ->
+      Format.printf "usage: bench ab <old.json> <new.json>@.";
+      exit 124
+  | _ -> ());
   let args = Array.to_list Sys.argv |> List.tl in
   fast_mode := List.mem "--fast" args;
   let args = List.filter (fun a -> a <> "--fast") args in
@@ -656,10 +739,23 @@ let () =
     in
     go [] args
   in
+  let cache_dir, args =
+    let rec go acc = function
+      | "--cache-dir" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  (* Each profile keeps a persistent cache dir (overridable with
+     --cache-dir), so repeat bench runs measure real cache hit rates
+     instead of the pristine-run-dir zeros BENCH_*.json used to show. *)
   (if json_path <> None then
      let dir =
-       Filename.concat (Filename.get_temp_dir_name ())
-         (Printf.sprintf "pll-bench-%d" (Unix.getpid ()))
+       match cache_dir with
+       | Some d -> d
+       | None ->
+           Filename.concat "_bench_cache" (if !fast_mode then "fast" else "full")
      in
      bench_ctx := Some (Supervise.create ~run_dir:dir ~isolate:false ()));
   let artifacts =

@@ -17,7 +17,16 @@
 #  5. the README's documented daemon CLI must match reality — the
 #     `verifyd flags:` line in README.md and the flags reported by
 #     `verifyd --help` must be the same set, both ways (only checked
-#     when a verifyd executable is passed as the second argument).
+#     when a verifyd executable is passed as the second argument);
+#  6. solver entry points must not re-grow scattered optional
+#     arguments — `Sos.solve` takes configuration through
+#     `?options:Sos.Options.t` only, and `Sdp.Session.solve` through
+#     `?hint`/`?params` only (new knobs belong in the records);
+#  7. performance PRs must carry bench evidence — when run in a git
+#     work tree with pending changes under lib/sdp/ or lib/linalg/,
+#     some BENCH_*.json must change too (regenerate with
+#     `dune exec bench/main.exe -- --fast ... --json` and compare via
+#     `bench ab`).
 #
 # Wired into `dune runtest` from test/dune; also runnable standalone:
 #
@@ -73,11 +82,39 @@ if [ -n "$verifyd" ] && [ -x "$verifyd" ] && [ -f "$readme" ]; then
   fi
 fi
 
+# Solve entry points stay record-configured (check 6). Extract each
+# declaration (from `val solve :` to the closing return type) and
+# reject optional arguments outside the sanctioned set.
+decl_optionals() { # emit the ?args of the first `val solve :` decl on stdin
+  awk '/val solve :/{f=1} f{print; if (/solution/) exit}' \
+    | grep -oE '\?[a-z_]+' | sort -u | tr -d '?'
+}
+sos_mli="$repo/lib/sos/sos.mli"
+if [ -f "$sos_mli" ]; then
+  extra="$(grep '^val solve' -A4 "$sos_mli" | decl_optionals | grep -vx 'options' || true)"
+  [ -z "$extra" ] || \
+    fail "Sos.solve grew scattered optional args ($(echo $extra)); add fields to Sos.Options.t instead"
+fi
+sdp_mli="$repo/lib/sdp/sdp.mli"
+if [ -f "$sdp_mli" ]; then
+  extra="$(sed -n '/^module Session/,/^end/p' "$sdp_mli" | decl_optionals \
+    | grep -vxE 'hint|params' || true)"
+  [ -z "$extra" ] || \
+    fail "Sdp.Session.solve grew scattered optional args ($(echo $extra)); extend params or the session instead"
+fi
+
 if command -v git >/dev/null 2>&1; then
   root="$(git rev-parse --show-toplevel 2>/dev/null || true)"
   if [ -n "$root" ]; then
     tracked="$(git -C "$root" ls-files _build | head -n 1)"
     [ -z "$tracked" ] || fail "build artifacts are tracked: $tracked"
+    # Perf changes need bench evidence (check 7): pending edits to the
+    # solver core must be accompanied by a refreshed BENCH_*.json.
+    pending="$(git -C "$root" diff --name-only HEAD -- 2>/dev/null || true)"
+    if printf '%s\n' "$pending" | grep -qE '^lib/(sdp|linalg)/'; then
+      printf '%s\n' "$pending" | grep -q 'BENCH_.*\.json' || \
+        fail "lib/sdp or lib/linalg changed without a BENCH_*.json delta; regenerate (bench --json) and compare with 'bench ab'"
+    fi
   fi
 fi
 

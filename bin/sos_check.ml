@@ -38,7 +38,7 @@ let run nvars on_constraints psd_tol eq_tol verbose expr =
       | Ok domain ->
           let prob = Sos.create ~nvars in
           Sos.add_nonneg_on prob ~domain (Sos.Ppoly.of_poly p);
-          let sol = Sos.solve ~psd_tol ~eq_tol prob in
+          let sol = Sos.solve ~options:(Sos.Options.make ~psd_tol ~eq_tol ()) prob in
           if not sol.Sos.certified then begin
             Format.printf "NOT certified%s@."
               (if domain = [] then " as a sum of squares"

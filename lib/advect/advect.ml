@@ -384,9 +384,10 @@ let advect_step ?(config = default_config) ?caps (s : Pll.scaled) pt q_cur =
     attempt (1.0 +. config.rho) 4
   end
 
-let contained_in_invariant ?(mult_deg = 2) ?caps (s : Pll.scaled) ai front =
+let contained_in_invariant ?(mult_deg = 2) ?caps ?(probe_iters = 60) (s : Pll.scaled) ai
+    front =
   let n = s.Pll.nvars in
-  let params = { Sdp.default_params with Sdp.max_iter = 60 } in
+  let params = { Sdp.default_params with Sdp.max_iter = probe_iters } in
   (* Non-inclusion is the expected answer until the advection converges —
      probe under the certificate's policy (shared clock/faults). *)
   let pol = Resilient.probe ai.Certificates.cert.Certificates.cfg.Certificates.resilience in
@@ -402,21 +403,44 @@ let contained_in_invariant ?(mult_deg = 2) ?caps (s : Pll.scaled) ai front =
         ~label:(Printf.sprintf "inclusion:%s" (Pll.mode_name m))
         ~params prob
     in
-    sol.Sos.certified
+    (prob, sol)
   in
   match Resilient.supervisor pol with
   | Some ctx when not (Supervise.in_worker ctx) ->
       (* Per-mode inclusion checks are independent probes: fan them out
-         across the worker pool and require every mode to certify. *)
+         across the worker pool and require every mode to certify.
+         Solves happen in forked children, so the parent session never
+         sees their solutions — each child distills its clean solve
+         into a warm-start capsule (pure data, Marshal-safe) and the
+         parent feeds the capsules back into the session, warming the
+         next advection step's checks. *)
+      let results =
+        Supervise.Pool.map ctx
+          ~f:(fun _ m ->
+            let prob, sol = check m in
+            let capsule =
+              if sol.Sos.sdp.Sdp.status = Sdp.Optimal && sol.Sos.sdp.Sdp.injected = 0
+              then Sdp.warm_start_of_solution (Sos.sdp_problem prob) sol.Sos.sdp
+              else None
+            in
+            (sol.Sos.certified, capsule))
+          (List.init Pll.n_modes Fun.id)
+      in
+      (match Resilient.session_of pol with
+      | Some sess ->
+          List.iter
+            (function
+              | Ok (_, Some w) -> Sdp.Session.remember_capsule sess w
+              | Ok (_, None) | Error _ -> ())
+            results
+      | None -> ());
       List.for_all
-        (function Ok true -> true | Ok false | Error _ -> false)
-        (Supervise.Pool.map ctx
-           ~f:(fun _ m -> check m)
-           (List.init Pll.n_modes Fun.id))
+        (function Ok (ok, _) -> ok | Error _ -> false)
+        results
   | _ ->
       let ok = ref true in
       for m = 0 to Pll.n_modes - 1 do
-        if !ok then if not (check m) then ok := false
+        if !ok then if not (snd (check m)).Sos.certified then ok := false
       done;
       !ok
 
@@ -524,7 +548,13 @@ let run ?(config = default_config) ?(max_iter = 20) ?(escape_deg = 4) (s : Pll.s
          raise Exit
        end;
        if
-         timed inclusion_time (fun () -> contained_in_invariant ?caps:!caps s ai !current)
+         (* Opportunistic early-exit poll: a certified "yes" at a tight
+            iteration budget is a full certificate, and a "no" only costs
+            one more advection round — the decisive post-loop check below
+            runs with the full budget. Failing probes otherwise burn the
+            whole budget every round, dominating the loop's wall time. *)
+         timed inclusion_time (fun () ->
+             contained_in_invariant ?caps:!caps ~probe_iters:25 s ai !current)
        then begin
          converged := true;
          raise Exit

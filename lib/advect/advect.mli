@@ -99,6 +99,7 @@ val advect_step_sos :
 val contained_in_invariant :
   ?mult_deg:int ->
   ?caps:Poly.t array ->
+  ?probe_iters:int ->
   Pll.scaled ->
   Certificates.attractive_invariant ->
   Poly.t ->
@@ -107,7 +108,12 @@ val contained_in_invariant :
     [S(front) ∩ D_q ⊆ {V_q <= β}] for every mode [q]. [caps] restricts
     the front to the certified reach-tube level cap
     [{V_q <= vmax}] (see {!run}): states of the front outside the cap
-    are provably unreachable and need not be contained. *)
+    are provably unreachable and need not be contained. [probe_iters]
+    (default 60) bounds the interior-point iterations per mode: a
+    [true] under any budget is a full certificate, while a tight
+    budget can only turn hard feasible instances into conservative
+    [false]s — the advection loop polls with a small budget and
+    reserves the full one for the decisive final check. *)
 
 val validate_step_by_simulation :
   ?samples:int -> ?seed:int -> Pll.scaled -> Pll.point -> h:float -> old_front:Poly.t -> Poly.t -> bool

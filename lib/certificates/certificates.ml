@@ -644,7 +644,7 @@ let check_escape ?(mult_deg = 2) ?(eps = 1e-2) ?policy ~nvars ~flow ~domain ~cer
           (Poly.const nvars eps)));
   let params = { Sdp.default_params with Sdp.max_iter = 60 } in
   match policy with
-  | None -> (Sos.solve ~params prob).Sos.certified
+  | None -> (Sos.solve ~options:(Sos.Options.make ~params ()) prob).Sos.certified
   | Some pol ->
       (* Failure falls back to the escape search — probe. *)
       (fst (Resilient.solve_sos (Resilient.probe pol) ~label:"escape-check" ~params prob))
@@ -661,7 +661,7 @@ let find_escape ?(deg = 4) ?(eps = 1e-2) ?sdp_params ?policy ~nvars ~flow ~domai
        (Ppoly.of_poly (Poly.const nvars eps)));
   let sol =
     match policy with
-    | None -> Sos.solve ?params:sdp_params prob
+    | None -> Sos.solve ~options:(Sos.Options.make ?params:sdp_params ()) prob
     | Some pol ->
         (* No escape certificate stalls the advection loop — ladder. *)
         fst (Resilient.solve_sos pol ~label:"escape-search" ?params:sdp_params prob)

@@ -3,7 +3,15 @@ type t = { rows : int; cols : int; data : float array }
 let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
 
 let init rows cols f =
-  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+  let d = Array.make (rows * cols) 0.0 in
+  let k = ref 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      Array.unsafe_set d !k (f i j);
+      incr k
+    done
+  done;
+  { rows; cols; data = d }
 
 let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
 
@@ -44,17 +52,46 @@ let check_same name a b =
 
 let add a b =
   check_same "add" a b;
-  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+  let n = Array.length a.data in
+  let ad = a.data and bd = b.data in
+  let d = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set d k (Array.unsafe_get ad k +. Array.unsafe_get bd k)
+  done;
+  { a with data = d }
 
 let sub a b =
   check_same "sub" a b;
-  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+  let n = Array.length a.data in
+  let ad = a.data and bd = b.data in
+  let d = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set d k (Array.unsafe_get ad k -. Array.unsafe_get bd k)
+  done;
+  { a with data = d }
 
-let scale s a = { a with data = Array.map (fun v -> s *. v) a.data }
+let scale s a =
+  let n = Array.length a.data in
+  let ad = a.data in
+  let d = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set d k (s *. Array.unsafe_get ad k)
+  done;
+  { a with data = d }
 
 let neg a = scale (-1.0) a
 
-let transpose a = init a.cols a.rows (fun i j -> get a j i)
+let transpose a =
+  let r = a.rows and c = a.cols in
+  let d = Array.make (r * c) 0.0 in
+  let ad = a.data in
+  for i = 0 to r - 1 do
+    let row = i * c in
+    for j = 0 to c - 1 do
+      Array.unsafe_set d ((j * r) + i) (Array.unsafe_get ad (row + j))
+    done
+  done;
+  { rows = c; cols = r; data = d }
 
 let mul a b =
   if a.cols <> b.rows then
@@ -62,14 +99,19 @@ let mul a b =
       (Printf.sprintf "Mat.mul: dimension mismatch (%dx%d * %dx%d)" a.rows a.cols
          b.rows b.cols);
   let c = create a.rows b.cols in
+  let ad = a.data and bd = b.data and cd = c.data in
+  let n = b.cols in
   for i = 0 to a.rows - 1 do
+    let arow = i * a.cols and crow = i * n in
     for k = 0 to a.cols - 1 do
-      let aik = get a i k in
-      if aik <> 0.0 then
-        for j = 0 to b.cols - 1 do
-          c.data.((i * c.cols) + j) <-
-            c.data.((i * c.cols) + j) +. (aik *. get b k j)
+      let aik = Array.unsafe_get ad (arow + k) in
+      if aik <> 0.0 then begin
+        let brow = k * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set cd (crow + j)
+            (Array.unsafe_get cd (crow + j) +. (aik *. Array.unsafe_get bd (brow + j)))
         done
+      end
     done
   done;
   c
@@ -97,7 +139,20 @@ let outer x y =
 
 let symmetrize a =
   if a.rows <> a.cols then invalid_arg "Mat.symmetrize: not square";
-  init a.rows a.cols (fun i j -> 0.5 *. (get a i j +. get a j i))
+  let n = a.rows in
+  let ad = a.data in
+  let d = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set d ((i * n) + i) (Array.unsafe_get ad ((i * n) + i));
+    for j = i + 1 to n - 1 do
+      let v =
+        0.5 *. (Array.unsafe_get ad ((i * n) + j) +. Array.unsafe_get ad ((j * n) + i))
+      in
+      Array.unsafe_set d ((i * n) + j) v;
+      Array.unsafe_set d ((j * n) + i) v
+    done
+  done;
+  { a with data = d }
 
 let is_symmetric ?(tol = 1e-9) a =
   a.rows = a.cols
@@ -138,23 +193,26 @@ let cholesky ?(reg = 0.0) a =
   if a.rows <> a.cols then invalid_arg "Mat.cholesky: not square";
   let n = a.rows in
   let l = create n n in
+  let ad = a.data and ld = l.data in
   let ok = ref true in
   (try
      for i = 0 to n - 1 do
+       let ri = i * n in
        for j = 0 to i do
-         let s = ref (get a i j) in
+         let rj = j * n in
+         let s = ref (Array.unsafe_get ad (ri + j)) in
          if i = j then s := !s +. reg;
          for k = 0 to j - 1 do
-           s := !s -. (get l i k *. get l j k)
+           s := !s -. (Array.unsafe_get ld (ri + k) *. Array.unsafe_get ld (rj + k))
          done;
          if i = j then begin
            if !s <= 0.0 || not (Float.is_finite !s) then begin
              ok := false;
              raise Exit
            end;
-           set l i i (sqrt !s)
+           Array.unsafe_set ld (ri + i) (sqrt !s)
          end
-         else set l i j (!s /. get l j j)
+         else Array.unsafe_set ld (ri + j) (!s /. Array.unsafe_get ld (rj + j))
        done
      done
    with Exit -> ());
@@ -162,41 +220,116 @@ let cholesky ?(reg = 0.0) a =
 
 let forward_subst l b =
   let n = l.rows in
+  let ld = l.data in
   let y = Array.make n 0.0 in
   for i = 0 to n - 1 do
-    let s = ref b.(i) in
+    let ri = i * n in
+    let s = ref (Array.unsafe_get b i) in
     for k = 0 to i - 1 do
-      s := !s -. (get l i k *. y.(k))
+      s := !s -. (Array.unsafe_get ld (ri + k) *. Array.unsafe_get y k)
     done;
-    y.(i) <- !s /. get l i i
+    y.(i) <- !s /. Array.unsafe_get ld (ri + i)
   done;
   y
 
 let backward_subst_t l y =
   (* Solves Lᵀ x = y for lower-triangular L. *)
   let n = l.rows in
+  let ld = l.data in
   let x = Array.make n 0.0 in
   for i = n - 1 downto 0 do
-    let s = ref y.(i) in
+    let s = ref (Array.unsafe_get y i) in
     for k = i + 1 to n - 1 do
-      s := !s -. (get l k i *. x.(k))
+      s := !s -. (Array.unsafe_get ld ((k * n) + i) *. Array.unsafe_get x k)
     done;
-    x.(i) <- !s /. get l i i
+    x.(i) <- !s /. Array.unsafe_get ld ((i * n) + i)
   done;
   x
 
 let chol_solve l b = backward_subst_t l (forward_subst l b)
 
+(* Multi-RHS L Lᵀ X = B, all columns swept together so the inner loops
+   run over contiguous rows of the right-hand-side panel. *)
 let chol_solve_mat l b =
-  let x = create b.rows b.cols in
-  for j = 0 to b.cols - 1 do
-    let col = Array.init b.rows (fun i -> get b i j) in
-    let sol = chol_solve l col in
-    for i = 0 to b.rows - 1 do
-      set x i j sol.(i)
+  let n = l.rows and w = b.cols in
+  if b.rows <> n then invalid_arg "Mat.chol_solve_mat: dimension mismatch";
+  let ld = l.data in
+  let x = copy b in
+  let xd = x.data in
+  (* Forward sweep: L Y = B. *)
+  for i = 0 to n - 1 do
+    let ri = i * n and rowi = i * w in
+    for k = 0 to i - 1 do
+      let lik = Array.unsafe_get ld (ri + k) in
+      if lik <> 0.0 then begin
+        let rowk = k * w in
+        for j = 0 to w - 1 do
+          Array.unsafe_set xd (rowi + j)
+            (Array.unsafe_get xd (rowi + j) -. (lik *. Array.unsafe_get xd (rowk + j)))
+        done
+      end
+    done;
+    let d = Array.unsafe_get ld (ri + i) in
+    for j = 0 to w - 1 do
+      Array.unsafe_set xd (rowi + j) (Array.unsafe_get xd (rowi + j) /. d)
+    done
+  done;
+  (* Backward sweep: Lᵀ X = Y. *)
+  for i = n - 1 downto 0 do
+    let rowi = i * w in
+    for k = i + 1 to n - 1 do
+      let lki = Array.unsafe_get ld ((k * n) + i) in
+      if lki <> 0.0 then begin
+        let rowk = k * w in
+        for j = 0 to w - 1 do
+          Array.unsafe_set xd (rowi + j)
+            (Array.unsafe_get xd (rowi + j) -. (lki *. Array.unsafe_get xd (rowk + j)))
+        done
+      end
+    done;
+    let d = Array.unsafe_get ld ((i * n) + i) in
+    for j = 0 to w - 1 do
+      Array.unsafe_set xd (rowi + j) (Array.unsafe_get xd (rowi + j) /. d)
     done
   done;
   x
+
+(* (L Lᵀ)⁻¹ from the Cholesky factor: T = L⁻¹ by triangular forward
+   substitution (skipping the structural zeros above each unit column),
+   then A⁻¹ = Tᵀ T filled symmetrically. Cheaper and allocation-free
+   compared to [chol_solve_mat l (identity n)]. *)
+let chol_inverse l =
+  if l.rows <> l.cols then invalid_arg "Mat.chol_inverse: not square";
+  let n = l.rows in
+  let ld = l.data in
+  let t = create n n in
+  let td = t.data in
+  for j = 0 to n - 1 do
+    Array.unsafe_set td ((j * n) + j) (1.0 /. Array.unsafe_get ld ((j * n) + j));
+    for i = j + 1 to n - 1 do
+      let ri = i * n in
+      let s = ref 0.0 in
+      for k = j to i - 1 do
+        s := !s +. (Array.unsafe_get ld (ri + k) *. Array.unsafe_get td ((k * n) + j))
+      done;
+      Array.unsafe_set td (ri + j) (-. !s /. Array.unsafe_get ld (ri + i))
+    done
+  done;
+  let inv = create n n in
+  let vd = inv.data in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let s = ref 0.0 in
+      (* T is lower triangular: row k contributes only for k >= j >= i. *)
+      for k = j to n - 1 do
+        let rk = k * n in
+        s := !s +. (Array.unsafe_get td (rk + i) *. Array.unsafe_get td (rk + j))
+      done;
+      Array.unsafe_set vd ((i * n) + j) !s;
+      Array.unsafe_set vd ((j * n) + i) !s
+    done
+  done;
+  inv
 
 (* Gaussian elimination with partial pivoting on an augmented system. *)
 let gauss_solve a rhs_cols rhs =
@@ -224,14 +357,19 @@ let gauss_solve a rhs_cols rhs =
       done
     end;
     let d = get m col col in
+    let md = m.data and bd = b.data in
+    let rcol_m = col * n and rcol_b = col * rhs_cols in
     for i = col + 1 to n - 1 do
-      let f = get m i col /. d in
+      let f = Array.unsafe_get md ((i * n) + col) /. d in
       if f <> 0.0 then begin
+        let ri_m = i * n and ri_b = i * rhs_cols in
         for j = col to n - 1 do
-          set m i j (get m i j -. (f *. get m col j))
+          Array.unsafe_set md (ri_m + j)
+            (Array.unsafe_get md (ri_m + j) -. (f *. Array.unsafe_get md (rcol_m + j)))
         done;
         for j = 0 to rhs_cols - 1 do
-          set b i j (get b i j -. (f *. get b col j))
+          Array.unsafe_set bd (ri_b + j)
+            (Array.unsafe_get bd (ri_b + j) -. (f *. Array.unsafe_get bd (rcol_b + j)))
         done
       end
     done
@@ -374,20 +512,24 @@ let sym_eig ?(tol = 1e-12) ?(max_sweeps = 64) a =
           let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
           let s = t *. c in
           (* Update rows/cols p and q of m. *)
+          let md = m.data and vd = v.data in
           for k = 0 to n - 1 do
-            let mkp = get m k p and mkq = get m k q in
-            set m k p ((c *. mkp) -. (s *. mkq));
-            set m k q ((s *. mkp) +. (c *. mkq))
+            let kp = (k * n) + p and kq = (k * n) + q in
+            let mkp = Array.unsafe_get md kp and mkq = Array.unsafe_get md kq in
+            Array.unsafe_set md kp ((c *. mkp) -. (s *. mkq));
+            Array.unsafe_set md kq ((s *. mkp) +. (c *. mkq))
+          done;
+          let rp = p * n and rq = q * n in
+          for k = 0 to n - 1 do
+            let mpk = Array.unsafe_get md (rp + k) and mqk = Array.unsafe_get md (rq + k) in
+            Array.unsafe_set md (rp + k) ((c *. mpk) -. (s *. mqk));
+            Array.unsafe_set md (rq + k) ((s *. mpk) +. (c *. mqk))
           done;
           for k = 0 to n - 1 do
-            let mpk = get m p k and mqk = get m q k in
-            set m p k ((c *. mpk) -. (s *. mqk));
-            set m q k ((s *. mpk) +. (c *. mqk))
-          done;
-          for k = 0 to n - 1 do
-            let vkp = get v k p and vkq = get v k q in
-            set v k p ((c *. vkp) -. (s *. vkq));
-            set v k q ((s *. vkp) +. (c *. vkq))
+            let kp = (k * n) + p and kq = (k * n) + q in
+            let vkp = Array.unsafe_get vd kp and vkq = Array.unsafe_get vd kq in
+            Array.unsafe_set vd kp ((c *. vkp) -. (s *. vkq));
+            Array.unsafe_set vd kq ((s *. vkp) +. (c *. vkq))
           done
         end
       done
@@ -399,9 +541,116 @@ let sym_eig ?(tol = 1e-12) ?(max_sweeps = 64) a =
   let vs = init n n (fun i k -> get v i order.(k)) in
   (w, vs)
 
+(* Householder reduction of a symmetric matrix to tridiagonal form
+   (EISPACK TRED1 style, no eigenvector accumulation): returns the
+   diagonal [d] and subdiagonal [e] ([e.(0)] unused) of an orthogonally
+   similar tridiagonal matrix. Works on the lower triangle of a fresh
+   symmetrized copy. O(n^3) with a small constant — much cheaper than a
+   full Jacobi sweep when only eigenvalues are needed. *)
+let tridiagonalize a =
+  let n = a.rows in
+  let m = symmetrize a in
+  let md = m.data in
+  let d = Array.make n 0.0 and e = Array.make n 0.0 in
+  for i = n - 1 downto 1 do
+    let l = i - 1 in
+    if l > 0 then begin
+      let scale = ref 0.0 in
+      for k = 0 to l do
+        scale := !scale +. Float.abs (Array.unsafe_get md ((i * n) + k))
+      done;
+      if !scale = 0.0 then e.(i) <- Array.unsafe_get md ((i * n) + l)
+      else begin
+        let h = ref 0.0 in
+        for k = 0 to l do
+          let v = Array.unsafe_get md ((i * n) + k) /. !scale in
+          Array.unsafe_set md ((i * n) + k) v;
+          h := !h +. (v *. v)
+        done;
+        let f = Array.unsafe_get md ((i * n) + l) in
+        let g = if f >= 0.0 then -.sqrt !h else sqrt !h in
+        e.(i) <- !scale *. g;
+        h := !h -. (f *. g);
+        Array.unsafe_set md ((i * n) + l) (f -. g);
+        (* p = A u / h over the leading (l+1) block (lower triangle). *)
+        let facc = ref 0.0 in
+        for j = 0 to l do
+          let g = ref 0.0 in
+          let rj = j * n in
+          for k = 0 to j do
+            g := !g +. (Array.unsafe_get md (rj + k) *. Array.unsafe_get md ((i * n) + k))
+          done;
+          for k = j + 1 to l do
+            g :=
+              !g +. (Array.unsafe_get md ((k * n) + j) *. Array.unsafe_get md ((i * n) + k))
+          done;
+          e.(j) <- !g /. !h;
+          facc := !facc +. (e.(j) *. Array.unsafe_get md ((i * n) + j))
+        done;
+        (* Rank-two update A <- A - u w' - w u'. *)
+        let hh = !facc /. (!h +. !h) in
+        for j = 0 to l do
+          let fj = Array.unsafe_get md ((i * n) + j) in
+          let gj = e.(j) -. (hh *. fj) in
+          e.(j) <- gj;
+          let rj = j * n in
+          for k = 0 to j do
+            Array.unsafe_set md (rj + k)
+              (Array.unsafe_get md (rj + k)
+              -. (fj *. e.(k))
+              -. (gj *. Array.unsafe_get md ((i * n) + k)))
+          done
+        done
+      end
+    end
+    else e.(i) <- Array.unsafe_get md ((i * n) + l)
+  done;
+  for i = 0 to n - 1 do
+    d.(i) <- Array.unsafe_get md ((i * n) + i)
+  done;
+  (d, e)
+
+(* Eigenvalues of the tridiagonal [(d, e)] strictly below [x], counted
+   by the signs of the Sturm pivot sequence. *)
+let sturm_count d e x =
+  let n = Array.length d in
+  let count = ref 0 in
+  let q = ref 1.0 in
+  for i = 0 to n - 1 do
+    let sub = if i = 0 then 0.0 else e.(i) *. e.(i) /. !q in
+    let v = d.(i) -. x -. sub in
+    (* Keep the pivot away from exact zero so the recurrence never
+       divides by 0; the sign convention counts it as negative. *)
+    q := (if Float.abs v < 1e-300 then -1e-300 else v);
+    if !q < 0.0 then incr count
+  done;
+  !count
+
 let min_eig a =
-  let w, _ = sym_eig a in
-  if Array.length w = 0 then 0.0 else w.(0)
+  let n = a.rows in
+  if n = 0 then 0.0
+  else if n = 1 then a.data.(0)
+  else begin
+    let d, e = tridiagonalize a in
+    (* Gershgorin bracket for the spectrum of the tridiagonal. *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    for i = 0 to n - 1 do
+      let r =
+        (if i > 0 then Float.abs e.(i) else 0.0)
+        +. if i < n - 1 then Float.abs e.(i + 1) else 0.0
+      in
+      lo := Float.min !lo (d.(i) -. r);
+      hi := Float.max !hi (d.(i) +. r)
+    done;
+    let scale = Float.max 1.0 (Float.max (Float.abs !lo) (Float.abs !hi)) in
+    let lo = ref !lo and hi = ref !hi in
+    (* Bisection on the Sturm count: smallest x with count(x) >= 1. *)
+    while !hi -. !lo > 1e-14 *. scale do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if sturm_count d e mid >= 1 then hi := mid else lo := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
 
 let is_psd ?(tol = 1e-8) a = min_eig a >= -.tol
 

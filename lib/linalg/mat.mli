@@ -98,7 +98,14 @@ val chol_solve : t -> Vec.t -> Vec.t
 (** [chol_solve l b] solves [L Lᵀ x = b] given the Cholesky factor [L]. *)
 
 val chol_solve_mat : t -> t -> t
-(** [chol_solve_mat l b] solves [L Lᵀ X = B] column-by-column. *)
+(** [chol_solve_mat l b] solves [L Lᵀ X = B] by blocked forward/backward
+    sweeps over the whole right-hand-side panel. *)
+
+val chol_inverse : t -> t
+(** [chol_inverse l] is [(L Lᵀ)⁻¹] given the Cholesky factor [L],
+    computed via the triangular inverse [T = L⁻¹] and the symmetric
+    product [Tᵀ T] — the fast path for the [S⁻¹] blocks of the SDP
+    interior-point iteration. *)
 
 val solve : t -> Vec.t -> Vec.t
 (** [solve a b] solves the square system [A x = b] by Gaussian elimination

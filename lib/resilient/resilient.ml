@@ -235,6 +235,7 @@ type policy = {
   clock_mode : time_mode;
   faults : Faults.plan;
   supervise : Supervise.ctx option;
+  session : Sdp.Session.t option;
   clock : clock;
 }
 
@@ -254,7 +255,11 @@ let fresh_clock () =
 
 let make ?(ladder = default_ladder) ?(retries = true) ?(accept_degraded = true)
     ?solve_deadline_s ?pipeline_deadline_s ?(clock_mode = Wall_clock)
-    ?(faults = Faults.none ()) ?supervise () =
+    ?(faults = Faults.none ()) ?supervise ?(warm_starts = true) ?session () =
+  let session =
+    if not warm_starts then None
+    else Some (match session with Some s -> s | None -> Sdp.Session.create ())
+  in
   {
     ladder;
     retries_enabled = retries;
@@ -265,6 +270,7 @@ let make ?(ladder = default_ladder) ?(retries = true) ?(accept_degraded = true)
     clock_mode;
     faults;
     supervise;
+    session;
     clock = fresh_clock ();
   }
 
@@ -272,6 +278,13 @@ let default () = make ()
 let probe p = { p with retries_enabled = false; quiet = true }
 let supervisor p = p.supervise
 let with_supervisor p supervise = { p with supervise }
+
+(* Warm starts are withheld under a fault plan: the session's
+   accept-or-re-solve discipline runs up to two interior-point passes
+   for one logical attempt, which would double-fire iteration-indexed
+   injected faults and skew the fired-fault accounting chaos tests
+   assert on. *)
+let session_of p = if Faults.is_empty p.faults then p.session else None
 let now p = time_of_mode p.clock_mode
 
 let begin_pipeline p =
@@ -397,7 +410,7 @@ let conclusive = function
    acceptance check (a posteriori validation, not just solver status);
    [salvageable] decides whether a non-certified payload is still worth
    surfacing as Degraded. *)
-let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
+let run_ladder policy ~label ?describe ?capsule ~attempt_solve ~certified ~salvageable
     (base_params : Sdp.params) =
   ensure_started policy;
   policy.clock.solve_count <- policy.clock.solve_count + 1;
@@ -473,7 +486,7 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
               pp_diagnosis d));
     (payload, d)
   in
-  let rec go params attempt_idx rungs attempts_rev best last =
+  let rec go params attempt_idx rungs attempts_rev best last hint =
     match rungs with
     | [] -> (
         match best with
@@ -488,7 +501,8 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
         let fired_before = Faults.fired policy.faults in
         let t0 = now policy in
         let payload, (sdp : Sdp.solution) =
-          attempt_solve ~attempt:attempt_idx (wrap ~attempt:attempt_idx params)
+          attempt_solve ~attempt:attempt_idx ~hint:(Option.map fst hint)
+            (wrap ~attempt:attempt_idx params)
         in
         let a =
           {
@@ -516,15 +530,33 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
               | _ -> Some (rung, payload, sdp.Sdp.best_score)
             else best
           in
+          (* Retry rungs warm-start from the best salvaged iterate seen
+             so far: the capsule (when the caller supplies one and this
+             attempt's iterate is the best yet) seeds the next rung. *)
+          let hint =
+            match capsule with
+            | None -> hint
+            | Some f ->
+                let better =
+                  Float.is_finite sdp.Sdp.best_score
+                  &&
+                  match hint with None -> true | Some (_, sc) -> sdp.Sdp.best_score < sc
+                in
+                if better then
+                  match f sdp with
+                  | Some w -> Some (w, sdp.Sdp.best_score)
+                  | None -> hint
+                else hint
+          in
           (* Conclusive infeasibility is an answer, not a numerical
              accident — retrying with looser tolerances cannot make an
              infeasible program feasible. Out-of-time likewise stops the
              ladder: salvage what we have. *)
           if conclusive sdp.Sdp.status || out_of_time policy then
-            go params (attempt_idx + 1) [] attempts_rev best (Some payload)
-          else go params (attempt_idx + 1) rest attempts_rev best (Some payload)
+            go params (attempt_idx + 1) [] attempts_rev best (Some payload) hint
+          else go params (attempt_idx + 1) rest attempts_rev best (Some payload) hint
   in
-  go base_params 0 rungs [] None None
+  go base_params 0 rungs [] None None None
 
 (* The supervised inner solver for one ladder attempt, or [None] without
    a supervisor. Process-level faults (kill/stall/corrupt-cache) target
@@ -533,7 +565,7 @@ let run_ladder policy ~label ?describe ~attempt_solve ~certified ~salvageable
    recovers. The current logical solve index is read off the policy
    clock — [run_ladder] has already counted this solve when an attempt
    runs. *)
-let supervised_solver policy ~label ~attempt =
+let supervised_solver policy ~label ~attempt ?hint () =
   match policy.supervise with
   | None -> None
   | Some ctx ->
@@ -543,14 +575,21 @@ let supervised_solver policy ~label ~attempt =
             policy.clock.solve_count
         else None
       in
-      Some (fun ?params prob -> Supervise.solve_sdp ctx ~label ?proc_fault ?params prob)
+      let session = session_of policy in
+      Some
+        (fun ?params prob ->
+          Supervise.solve_sdp ctx ~label ?proc_fault ?session ?hint ?params prob)
 
 let solve_sdp policy ~label ?(params = Sdp.default_params) prob =
-  let attempt_solve ~attempt p =
+  let session = session_of policy in
+  let attempt_solve ~attempt ~hint p =
     let sol =
-      match supervised_solver policy ~label ~attempt with
+      match supervised_solver policy ~label ~attempt ?hint () with
       | Some solve -> solve ~params:p prob
-      | None -> Sdp.solve ~params:p prob
+      | None -> (
+          match session with
+          | Some sess -> Sdp.Session.solve sess ?hint ~params:p prob
+          | None -> Sdp.solve ~params:p prob)
     in
     (sol, sol)
   in
@@ -564,13 +603,20 @@ let solve_sdp policy ~label ?(params = Sdp.default_params) prob =
       (Array.length prob.Sdp.block_dims)
       prob.Sdp.n_free
   in
-  run_ladder policy ~label ~describe ~attempt_solve ~certified ~salvageable params
+  let capsule =
+    Option.map (fun _ (s : Sdp.solution) -> Sdp.warm_start_of_solution prob s) session
+  in
+  run_ladder policy ~label ~describe ?capsule ~attempt_solve ~certified ~salvageable
+    params
 
 let solve_sos policy ~label ?(params = Sdp.default_params) ?(psd_tol = 1e-7)
     ?(eq_tol = 1e-5) ?accept prob =
-  let attempt_solve ~attempt p =
-    let solver = supervised_solver policy ~label ~attempt in
-    let sol = Sos.solve ?solver ~params:p ~psd_tol ~eq_tol prob in
+  let session = session_of policy in
+  let sdp_prob = lazy (Sos.sdp_problem prob) in
+  let attempt_solve ~attempt ~hint p =
+    let solver = supervised_solver policy ~label ~attempt ?hint () in
+    let options = Sos.Options.make ?solver ~params:p ~psd_tol ~eq_tol ?session ?hint () in
+    let sol = Sos.solve ~options prob in
     (sol, sol.Sos.sdp)
   in
   let certified =
@@ -586,10 +632,16 @@ let solve_sos policy ~label ?(params = Sdp.default_params) ?(psd_tol = 1e-7)
        && s.Sos.max_eq_residual <= 1e3 *. eq_tol)
   in
   let describe () =
-    let p = Sos.sdp_problem prob in
+    let p = Lazy.force sdp_prob in
     Printf.sprintf "%d constraints, %d blocks, %d free vars"
       (Array.length p.Sdp.constraints)
       (Array.length p.Sdp.block_dims)
       p.Sdp.n_free
   in
-  run_ladder policy ~label ~describe ~attempt_solve ~certified ~salvageable params
+  let capsule =
+    Option.map
+      (fun _ (s : Sdp.solution) -> Sdp.warm_start_of_solution (Lazy.force sdp_prob) s)
+      session
+  in
+  run_ladder policy ~label ~describe ?capsule ~attempt_solve ~certified ~salvageable
+    params

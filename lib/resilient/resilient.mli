@@ -175,6 +175,12 @@ type policy = {
   supervise : Supervise.ctx option;
       (** when present, ladder attempts solve in forked workers through
           {!Supervise.solve_sdp} (timeout, memory cap, cache, journal) *)
+  session : Sdp.Session.t option;
+      (** warm-start session shared by every solve under this policy:
+          bisection rungs and sweep neighbours of the same problem
+          structure resume from the previous clean iterate, and retry
+          rungs warm-start from the best salvaged one. [None] disables
+          warm starts entirely. *)
   clock : clock;  (** mutable pipeline state (journal, counter, clock) *)
 }
 
@@ -189,11 +195,22 @@ val make :
   ?clock_mode:time_mode ->
   ?faults:Faults.plan ->
   ?supervise:Supervise.ctx ->
+  ?warm_starts:bool ->
+  ?session:Sdp.Session.t ->
   unit ->
   policy
 (** Fresh policy (fresh clock/journal). Defaults: {!default_ladder},
     retries on, degradation on, no deadlines, wall-clock deadline base,
-    no faults, no supervisor. *)
+    no faults, no supervisor, and a fresh warm-start session
+    ([~warm_starts:false] opts out; [~session] shares an existing
+    one). *)
+
+val session_of : policy -> Sdp.Session.t option
+(** The session solves under this policy will actually use: the
+    policy's session, withheld while a fault plan is active — the
+    session's warm-attempt/cold-re-solve discipline can run two
+    interior-point passes for one logical attempt, which would
+    double-fire iteration-indexed injected faults. *)
 
 val default : unit -> policy
 

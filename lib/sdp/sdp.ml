@@ -96,10 +96,14 @@ let sparse_block_of_entries dim entries =
 
 (* <A, W> for symmetric sparse A and a dense (not necessarily symmetric) W. *)
 let sb_dot sb (w : Mat.t) =
+  let wd = w.Mat.data and n = w.Mat.cols in
   Array.fold_left
     (fun acc (r, c, v) ->
-      if r = c then acc +. (v *. Mat.get w r r)
-      else acc +. (v *. (Mat.get w r c +. Mat.get w c r)))
+      if r = c then acc +. (v *. Array.unsafe_get wd ((r * n) + r))
+      else
+        acc
+        +. (v
+           *. (Array.unsafe_get wd ((r * n) + c) +. Array.unsafe_get wd ((c * n) + r))))
     0.0 sb.entries
 
 (* W <- W + scale * A for symmetric sparse A, dense W. *)
@@ -110,43 +114,48 @@ let sb_add_to sb scale (w : Mat.t) =
       if r <> c then Mat.set w c r (Mat.get w c r +. (scale *. v)))
     sb.entries
 
-(* X * (A * Sinv) for sparse symmetric A: cost O(|touched| * n^2). *)
+(* X * (A * Sinv) for sparse symmetric A: cost O(|touched| * n^2). The
+   nonzero rows of P = A * Sinv are packed into one dense panel indexed
+   by the touched set, so both the scatter (rows of Sinv) and the gather
+   (rows of X against the panel) stream contiguous memory. *)
 let sb_sandwich sb (x : Mat.t) (sinv : Mat.t) =
   let n = x.Mat.rows in
-  (* p = A * sinv has nonzero rows only at touched indices *)
-  let p_rows = Hashtbl.create 8 in
-  let row_of r =
-    match Hashtbl.find_opt p_rows r with
-    | Some a -> a
-    | None ->
-        let a = Array.make n 0.0 in
-        Hashtbl.add p_rows r a;
-        a
-  in
+  let touched = sb.touched in
+  let nt = Array.length touched in
+  let slot = Array.make n (-1) in
+  Array.iteri (fun k t -> slot.(t) <- k) touched;
+  let p = Array.make (nt * n) 0.0 in
+  let sd = sinv.Mat.data in
   Array.iter
     (fun (r, c, v) ->
-      let pr = row_of r in
+      let pr = slot.(r) * n and rc = c * n in
       for j = 0 to n - 1 do
-        pr.(j) <- pr.(j) +. (v *. Mat.get sinv c j)
+        Array.unsafe_set p (pr + j)
+          (Array.unsafe_get p (pr + j) +. (v *. Array.unsafe_get sd (rc + j)))
       done;
       if r <> c then begin
-        let pc = row_of c in
+        let pc = slot.(c) * n and rr = r * n in
         for j = 0 to n - 1 do
-          pc.(j) <- pc.(j) +. (v *. Mat.get sinv r j)
+          Array.unsafe_set p (pc + j)
+            (Array.unsafe_get p (pc + j) +. (v *. Array.unsafe_get sd (rr + j)))
         done
       end)
     sb.entries;
   let w = Mat.create n n in
-  Hashtbl.iter
-    (fun t pr ->
-      for i = 0 to n - 1 do
-        let xit = Mat.get x i t in
-        if xit <> 0.0 then
-          for j = 0 to n - 1 do
-            Mat.set w i j (Mat.get w i j +. (xit *. pr.(j)))
-          done
-      done)
-    p_rows;
+  let wd = w.Mat.data and xd = x.Mat.data in
+  for i = 0 to n - 1 do
+    let row = i * n in
+    for k = 0 to nt - 1 do
+      let xit = Array.unsafe_get xd (row + Array.unsafe_get touched k) in
+      if xit <> 0.0 then begin
+        let prow = k * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set wd (row + j)
+            (Array.unsafe_get wd (row + j) +. (xit *. Array.unsafe_get p (prow + j)))
+        done
+      end
+    done
+  done;
   w
 
 type internal = {
@@ -258,33 +267,39 @@ let robust_chol a =
   in
   go 0.0 8
 
-(* L^{-1} W L^{-T} for lower-triangular Cholesky factor L. *)
+(* L^{-1} W L^{-T} for lower-triangular Cholesky factor L, as two
+   forward-substitution sweeps over whole row panels (the second on the
+   transpose), so the inner loops run over contiguous rows. *)
 let chol_congruence (l : Mat.t) (w : Mat.t) =
   let n = l.Mat.rows in
-  (* U = L^{-1} W : forward substitution on each column of W *)
-  let u = Mat.create n n in
-  for j = 0 to n - 1 do
+  let ld = l.Mat.data in
+  let forward_panel (m : Mat.t) =
+    let md = m.Mat.data in
     for i = 0 to n - 1 do
-      let s = ref (Mat.get w i j) in
+      let ri = i * n in
       for k = 0 to i - 1 do
-        s := !s -. (Mat.get l i k *. Mat.get u k j)
+        let lik = Array.unsafe_get ld (ri + k) in
+        if lik <> 0.0 then begin
+          let rk = k * n in
+          for j = 0 to n - 1 do
+            Array.unsafe_set md (ri + j)
+              (Array.unsafe_get md (ri + j) -. (lik *. Array.unsafe_get md (rk + j)))
+          done
+        end
       done;
-      Mat.set u i j (!s /. Mat.get l i i)
+      let d = Array.unsafe_get ld (ri + i) in
+      for j = 0 to n - 1 do
+        Array.unsafe_set md (ri + j) (Array.unsafe_get md (ri + j) /. d)
+      done
     done
-  done;
-  (* V = U L^{-T} : (L^{-1} U^T)^T *)
-  let v = Mat.create n n in
-  for j = 0 to n - 1 do
-    (* column j of V solves L * vcol = (row j of U)^T *)
-    for i = 0 to n - 1 do
-      let s = ref (Mat.get u j i) in
-      for k = 0 to i - 1 do
-        s := !s -. (Mat.get l i k *. Mat.get v k j)
-      done;
-      Mat.set v i j (!s /. Mat.get l i i)
-    done
-  done;
-  v
+  in
+  (* U = L^{-1} W *)
+  let u = Mat.copy w in
+  forward_panel u;
+  (* V = U L^{-T} = (L^{-1} U^T)^T *)
+  let ut = Mat.transpose u in
+  forward_panel ut;
+  Mat.transpose ut
 
 (* Largest alpha in (0, 1] with X + alpha * dX >= 0 (to a fraction). *)
 let max_step ~frac (x : Mat.t) (l : Mat.t) (dx : Mat.t) =
@@ -292,6 +307,109 @@ let max_step ~frac (x : Mat.t) (l : Mat.t) (dx : Mat.t) =
   let t = Mat.symmetrize (chol_congruence l dx) in
   let lam_min = Mat.min_eig t in
   if lam_min >= 0.0 then 1.0 else Float.min 1.0 (-.frac /. lam_min)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start capsules: a strictly-feasible-shifted iterate from a prior
+   solve, keyed by a structure fingerprint so it is only ever applied to
+   a problem with the same block dimensions and sparsity pattern.       *)
+
+(* Digest of the problem's *shape* only — block dims, free-variable
+   count, and the (blk,row,col) sparsity pattern of every constraint and
+   of the objective. Entry values are deliberately excluded: two
+   bisection rungs or neighbouring sweep cells differ only in values and
+   must share a fingerprint so one's iterate can seed the other. *)
+let structure_fingerprint p =
+  let buf = Buffer.create 2048 in
+  let adds = Buffer.add_string buf in
+  adds "pll-sdp-structure v1\nblocks";
+  Array.iter (fun d -> adds (Printf.sprintf " %d" d)) p.block_dims;
+  adds (Printf.sprintf "\nfree %d\n" p.n_free);
+  Array.iter
+    (fun c ->
+      adds "A";
+      List.iter (fun e -> adds (Printf.sprintf " %d:%d:%d" e.blk e.row e.col)) c.lhs;
+      adds "\nB";
+      List.iter (fun (k, _) -> adds (Printf.sprintf " %d" k)) c.free;
+      Buffer.add_char buf '\n')
+    p.constraints;
+  adds "C";
+  List.iter (fun e -> adds (Printf.sprintf " %d:%d:%d" e.blk e.row e.col)) p.obj_blocks;
+  adds "\ncf";
+  List.iter (fun (k, _) -> adds (Printf.sprintf " %d" k)) p.obj_free;
+  Buffer.add_char buf '\n';
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type warm_start = {
+  ws_structure : string;
+  ws_x : Mat.t array;
+  ws_s : Mat.t array;
+  ws_y : float array;  (* multipliers in the original (unscaled) problem *)
+  ws_f : float array;
+}
+
+let warm_start_structure w = w.ws_structure
+
+let capsule_shape_ok p w =
+  let nb = Array.length p.block_dims in
+  Array.length w.ws_x = nb
+  && Array.length w.ws_s = nb
+  && Array.length w.ws_y = Array.length p.constraints
+  && Array.length w.ws_f = p.n_free
+  &&
+  let ok = ref true in
+  for b = 0 to nb - 1 do
+    if
+      w.ws_x.(b).Mat.rows <> p.block_dims.(b)
+      || w.ws_s.(b).Mat.rows <> p.block_dims.(b)
+    then ok := false
+  done;
+  !ok
+
+let capsule_finite w =
+  let mat_ok (m : Mat.t) = Array.for_all Float.is_finite m.Mat.data in
+  Array.for_all mat_ok w.ws_x
+  && Array.for_all mat_ok w.ws_s
+  && Array.for_all Float.is_finite w.ws_y
+  && Array.for_all Float.is_finite w.ws_f
+
+let warm_start_of_solution p (sol : solution) =
+  let w =
+    {
+      ws_structure = structure_fingerprint p;
+      ws_x = Array.map Mat.copy sol.x_blocks;
+      ws_s = Array.map Mat.copy sol.s_blocks;
+      ws_y = Array.copy sol.y;
+      ws_f = Array.copy sol.f;
+    }
+  in
+  if capsule_shape_ok p w && capsule_finite w then Some w else None
+
+(* Shift a prior iterate strictly inside the PSD cone: M + λI with λ
+   chosen so the smallest eigenvalue clears a floor relative to the
+   block's scale. The floor also pushes the pair back off the central
+   path boundary, so the first warm iterations have room to move. *)
+let warm_interior_floor = 1e-3
+
+let shift_strictly_feasible (m : Mat.t) =
+  let d = m.Mat.rows in
+  if d = 0 then Mat.copy m
+  else begin
+    let lam = Mat.min_eig m in
+    let scale = 1.0 +. (Float.max 0.0 (Mat.trace m) /. float_of_int d) in
+    let floor_ = warm_interior_floor *. scale in
+    let add = Float.max 0.0 (floor_ -. lam) in
+    let out = Mat.copy m in
+    for i = 0 to d - 1 do
+      Mat.set out i i (Mat.get out i i +. add)
+    done;
+    out
+  end
+
+(* Process-wide interior-point iteration counter (throughput accounting
+   for `bench ab` deltas; forked workers report their own counts). *)
+let iterations_total = ref 0
+
+let iteration_count () = !iterations_total
 
 (* Deterministic pseudo-noise in [-1, 1] for fault injection — a fixed
    integer hash of the coordinates, so injected perturbations replay
@@ -303,24 +421,36 @@ let pseudo_noise iter b i j =
   let h = h lxor (h lsr 15) in
   (float_of_int (h land 0xFFFFFF) /. float_of_int 0xFFFFFF *. 2.0) -. 1.0
 
-let solve_core ?(params = default_params) p =
+let solve_core ?(params = default_params) ?warm p =
   let it = build_internal p in
   let m = it.m and nb = it.nb and nf = p.n_free in
   let dims = p.block_dims in
   let n_total = Float.max 1.0 (float_of_int it.n_total) in
   let c_dense = dense_c it in
-  (* Initial point. *)
+  (* Initial point: either the cold scaled-identity pair, or a prior
+     iterate shifted strictly inside the cone. The capsule carries
+     multipliers in the original scaling; internally constraints are
+     normalized, so y_i picks up the per-constraint scale factor. *)
   let norm_b = Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 it.b_vec in
   let norm_c =
     Array.fold_left (fun a w -> Float.max a (Mat.norm_inf w)) 0.0 c_dense
     |> Float.max (Vec.norm_inf it.c_free)
   in
-  let xi = params.init_scale *. Float.max 10.0 (2.0 *. norm_b) in
-  let eta = params.init_scale *. Float.max 10.0 (2.0 *. (norm_c +. 1.0)) in
-  let x = Array.init nb (fun b -> Mat.scale xi (Mat.identity dims.(b))) in
-  let s = Array.init nb (fun b -> Mat.scale eta (Mat.identity dims.(b))) in
-  let y = Array.make m 0.0 in
-  let f = Array.make nf 0.0 in
+  let x, s, y, f =
+    match warm with
+    | Some w when capsule_shape_ok p w ->
+        ( Array.map shift_strictly_feasible w.ws_x,
+          Array.map shift_strictly_feasible w.ws_s,
+          Array.init m (fun i -> w.ws_y.(i) *. it.scales.(i)),
+          Array.copy w.ws_f )
+    | _ ->
+        let xi = params.init_scale *. Float.max 10.0 (2.0 *. norm_b) in
+        let eta = params.init_scale *. Float.max 10.0 (2.0 *. (norm_c +. 1.0)) in
+        ( Array.init nb (fun b -> Mat.scale xi (Mat.identity dims.(b))),
+          Array.init nb (fun b -> Mat.scale eta (Mat.identity dims.(b))),
+          Array.make m 0.0,
+          Array.make nf 0.0 )
+  in
   let trace_rev = ref [] in
   let injected = ref 0 in
   (* Forward declaration: best_score lives below but [result] reads it. *)
@@ -400,6 +530,7 @@ let solve_core ?(params = default_params) p =
   in
   try
      for iter = 1 to params.max_iter do
+       incr iterations_total;
        (* Injected faults and deadline interrupts (resilience layer). *)
        (match params.on_iteration with
        | None -> ()
@@ -435,7 +566,7 @@ let solve_core ?(params = default_params) p =
              | None -> raise (Done (if !best_score < 1e-4 then classify_best iter else result Numerical_failure iter)))
            s
        in
-       let s_inv = Array.mapi (fun b l -> Mat.chol_solve_mat l (Mat.identity dims.(b))) s_chol in
+       let s_inv = Array.map Mat.chol_inverse s_chol in
        let x_chol =
          Array.map
            (fun xb ->
@@ -484,30 +615,119 @@ let solve_core ?(params = default_params) p =
          raise (Done (result Primal_infeasible iter));
        if Float.abs pobj > 1e9 *. (1.0 +. norm_c) && pres <= 1e-6 then
          raise (Done (result Dual_infeasible iter));
-       (* Schur complement M_ij = sum_b <A_i, X A_j Sinv>. *)
+       (* Schur complement M_ij = sum_b <A_i, X A_j Sinv>. Two regimes
+          per block: when the constraints touching the block are sparse
+          (the SOS coefficient-matching case, ~3 entries each), the
+          pair sums are evaluated directly from per-constraint panels
+          P_i = A_i Sinv restricted to touched rows — W_i = X P_i is
+          never materialized, so the n^2 gather per constraint
+          disappears. Dense blocks fall back to the sandwich-and-dot
+          path. *)
        let mmat = Mat.create m m in
+       let md = mmat.Mat.data in
        let w_cache = Array.make m None in
        for b = 0 to nb - 1 do
          let idx = it.block_cons.(b) in
-         Array.iter
-           (fun i ->
-             let w = sb_sandwich it.cons_blocks.(i).(b) x.(b) s_inv.(b) in
-             w_cache.(i) <- Some w)
-           idx;
-         Array.iter
-           (fun i ->
-             match w_cache.(i) with
-             | None -> ()
-             | Some wi ->
+         let ni = Array.length idx in
+         if ni > 0 then begin
+           let n = dims.(b) in
+           let tot_nnz = ref 0 in
+           Array.iter
+             (fun i ->
+               tot_nnz := !tot_nnz + Array.length it.cons_blocks.(i).(b).entries)
+             idx;
+           if !tot_nnz < 2 * n * n then begin
+             let xd = x.(b).Mat.data and sd = s_inv.(b).Mat.data in
+             (* slot.(t) is only ever read for t in the *current*
+                constraint's touched set, so one scratch array per block
+                needs no resetting between constraints. *)
+             let slot = Array.make n 0 in
+             (* Transposed panel per constraint: pt.((j*nt)+k) is
+                (A_i Sinv)[touched_i.(k), j], so the on-demand dots
+                stream it contiguously. *)
+             let panels =
+               Array.map
+                 (fun i ->
+                   let sb = it.cons_blocks.(i).(b) in
+                   let nt = Array.length sb.touched in
+                   Array.iteri (fun k t -> slot.(t) <- k) sb.touched;
+                   let p = Array.make (n * nt) 0.0 in
+                   Array.iter
+                     (fun (r, c, v) ->
+                       let sr = slot.(r) in
+                       let rc = c * n in
+                       for j = 0 to n - 1 do
+                         let o = (j * nt) + sr in
+                         Array.unsafe_set p o
+                           (Array.unsafe_get p o
+                           +. (v *. Array.unsafe_get sd (rc + j)))
+                       done;
+                       if r <> c then begin
+                         let sc = slot.(c) in
+                         let rr = r * n in
+                         for j = 0 to n - 1 do
+                           let o = (j * nt) + sc in
+                           Array.unsafe_set p o
+                             (Array.unsafe_get p o
+                             +. (v *. Array.unsafe_get sd (rr + j)))
+                         done
+                       end)
+                     sb.entries;
+                   p)
+                 idx
+             in
+             (* W_i[r,c] = sum_k X[r, touched_i.(k)] * pt_i[(c*nt)+k]. *)
+             for ii = 0 to ni - 1 do
+               let i = idx.(ii) in
+               let sbi = it.cons_blocks.(i).(b) in
+               let nt = Array.length sbi.touched in
+               let tch = sbi.touched and pt = panels.(ii) in
+               let w_entry r c =
+                 let rr = r * n and cnt = c * nt in
+                 let acc = ref 0.0 in
+                 for k = 0 to nt - 1 do
+                   acc :=
+                     !acc
+                     +. Array.unsafe_get xd (rr + Array.unsafe_get tch k)
+                        *. Array.unsafe_get pt (cnt + k)
+                 done;
+                 !acc
+               in
+               for jj = ii to ni - 1 do
+                 let j = idx.(jj) in
+                 let acc = ref 0.0 in
                  Array.iter
-                   (fun j ->
-                     if j >= i then begin
-                       let v = sb_dot it.cons_blocks.(j).(b) wi in
-                       Mat.set mmat i j (Mat.get mmat i j +. v)
-                     end)
-                   idx)
-           idx;
-         Array.iter (fun i -> w_cache.(i) <- None) idx
+                   (fun (r, c, v) ->
+                     if r = c then acc := !acc +. (v *. w_entry r r)
+                     else acc := !acc +. (v *. (w_entry r c +. w_entry c r)))
+                   it.cons_blocks.(j).(b).entries;
+                 let o = (i * m) + j in
+                 Array.unsafe_set md o (Array.unsafe_get md o +. !acc)
+               done
+             done
+           end
+           else begin
+             Array.iter
+               (fun i ->
+                 let w = sb_sandwich it.cons_blocks.(i).(b) x.(b) s_inv.(b) in
+                 w_cache.(i) <- Some w)
+               idx;
+             Array.iter
+               (fun i ->
+                 match w_cache.(i) with
+                 | None -> ()
+                 | Some wi ->
+                     Array.iter
+                       (fun j ->
+                         if j >= i then begin
+                           let v = sb_dot it.cons_blocks.(j).(b) wi in
+                           Mat.set mmat i j (Mat.get mmat i j +. v)
+                         end)
+                       idx)
+               idx;
+             Array.iter (fun i -> w_cache.(i) <- None) idx
+           end
+         end
        done;
        for i = 0 to m - 1 do
          for j = 0 to i - 1 do
@@ -519,9 +739,12 @@ let solve_core ?(params = default_params) p =
          | Some l -> l
          | None -> raise (Done (if !best_score < 1e-4 then classify_best iter else result Numerical_failure iter))
        in
-       (* Saddle solve shared by predictor and corrector. *)
-       let solve_direction rhs_g =
-         if nf = 0 then (Mat.chol_solve m_chol rhs_g, [||])
+       (* Saddle solve shared by predictor and corrector. The reduced
+          free-variable system K = B' M^-1 B depends only on m_chol, so
+          it is assembled and factored once per iteration and reused by
+          both solve_direction calls. *)
+       let k_solve =
+         if nf = 0 then fun _ -> [||]
          else begin
            let minv_b = Mat.chol_solve_mat m_chol it.b_mat in
            let k = Mat.mul (Mat.transpose it.b_mat) minv_b in
@@ -529,9 +752,17 @@ let solve_core ?(params = default_params) p =
            for d = 0 to nf - 1 do
              Mat.set k d d (Mat.get k d d +. kreg)
            done;
+           match robust_chol k with
+           | Some k_chol -> Mat.chol_solve k_chol
+           | None -> Mat.solve k
+         end
+       in
+       let solve_direction rhs_g =
+         if nf = 0 then (Mat.chol_solve m_chol rhs_g, [||])
+         else begin
            let minv_g = Mat.chol_solve m_chol rhs_g in
            let rhs_f = Vec.sub (Mat.tmul_vec it.b_mat minv_g) r_f in
-           let df = Mat.solve k rhs_f in
+           let df = k_solve rhs_f in
            let dy = Mat.chol_solve m_chol (Vec.sub rhs_g (Mat.mul_vec it.b_mat df)) in
            (dy, df)
          end
@@ -655,12 +886,38 @@ let solves_total = ref 0
 
 let solve_count () = !solves_total
 
-let solve ?(params = default_params) p =
+(* Map a warm capsule into equilibrated coordinates. The solved problem
+   has X = D X' D and S = D^{-1} S' D^{-1} (see [unscale_solution]), so a
+   capsule recorded on original data enters the scaled solve as
+   X' = D^{-1} X D^{-1}, S' = D S D; y and f are unchanged. *)
+let equilibrate_capsule d w =
+  let congruence f b (m : Mat.t) =
+    Mat.init m.Mat.rows m.Mat.rows (fun i j -> f d.(b).(i) *. f d.(b).(j) *. Mat.get m i j)
+  in
+  {
+    w with
+    ws_x = Array.mapi (congruence (fun v -> 1.0 /. v)) w.ws_x;
+    ws_s = Array.mapi (congruence (fun v -> v)) w.ws_s;
+  }
+
+let solve ?(params = default_params) ?warm p =
   incr solves_total;
-  if not params.equilibrate then solve_core ~params p
+  (* A capsule is applied only when it matches this problem's structure
+     and is numerically sound; anything else silently degrades to a cold
+     start so hints can never change what is solvable. *)
+  let warm =
+    match warm with
+    | Some w
+      when String.equal w.ws_structure (structure_fingerprint p)
+           && capsule_shape_ok p w && capsule_finite w ->
+        Some w
+    | _ -> None
+  in
+  if not params.equilibrate then solve_core ~params ?warm p
   else begin
     let d = equilibration_scales p in
-    let sol = solve_core ~params (equilibrate_problem p d) in
+    let warm = Option.map (equilibrate_capsule d) warm in
+    let sol = solve_core ~params ?warm (equilibrate_problem p d) in
     unscale_solution d sol
   end
 
@@ -746,6 +1003,113 @@ let to_sdpa p =
         c.free)
     p.constraints;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Stateful solver sessions: a capsule memory keyed by structure
+   fingerprint plus accept/reject accounting. The contract that keeps
+   warm starts invisible to callers:
+     - a warm attempt runs on a reduced iteration budget and is accepted
+       only when it reaches [Optimal]; anything else triggers a cold
+       re-solve with the caller's original params, so statuses and
+       salvage diagnostics are never those of a starved warm attempt;
+     - only clean solutions ([Optimal], no injected faults) are
+       remembered;
+     - jitter rungs ([init_scale <> 1.0]) request a deliberately
+       different starting point, so hints are skipped there. *)
+module Session = struct
+  type counters = { warm_accepted : int; warm_rejected : int; cold_solves : int }
+
+  (* Process-wide totals across every session (bench/report accounting —
+     sessions are created deep inside per-phase configs, so a global sum
+     is the only cheap way to observe them from the outside). *)
+  let warm_accepted_total = ref 0
+  let warm_rejected_total = ref 0
+  let cold_total = ref 0
+
+  let totals () =
+    {
+      warm_accepted = !warm_accepted_total;
+      warm_rejected = !warm_rejected_total;
+      cold_solves = !cold_total;
+    }
+
+  type t = {
+    sess_params : params;
+    memory : (string, warm_start) Hashtbl.t;
+    mutable warm_accepted : int;
+    mutable warm_rejected : int;
+    mutable cold_solves : int;
+  }
+
+  let create ?(params = default_params) () =
+    {
+      sess_params = params;
+      memory = Hashtbl.create 16;
+      warm_accepted = 0;
+      warm_rejected = 0;
+      cold_solves = 0;
+    }
+
+  let params t = t.sess_params
+
+  let counters t =
+    {
+      warm_accepted = t.warm_accepted;
+      warm_rejected = t.warm_rejected;
+      cold_solves = t.cold_solves;
+    }
+
+  let hint_for t p = Hashtbl.find_opt t.memory (structure_fingerprint p)
+
+  let remember t p sol =
+    if sol.status = Optimal && sol.injected = 0 then
+      match warm_start_of_solution p sol with
+      | Some w -> Hashtbl.replace t.memory w.ws_structure w
+      | None -> ()
+
+  (* Feed a capsule produced elsewhere (typically in a forked pool
+     worker, shipped back over the Marshal channel) into this session's
+     memory. The producer is responsible for only capturing clean
+     solutions; [warm_start_of_solution] already rejects non-finite
+     iterates. *)
+  let remember_capsule t w = Hashtbl.replace t.memory w.ws_structure w
+
+  (* Bound the cost of a failed warm attempt: the cold fallback then
+     costs at most ~1/3 extra over a straight cold solve. *)
+  let warm_budget params = { params with max_iter = Int.max 20 (params.max_iter / 3) }
+
+  let solve t ?hint ?params prob =
+    let params = Option.value params ~default:t.sess_params in
+    let fp = structure_fingerprint prob in
+    let hint =
+      match hint with
+      | Some w -> if String.equal w.ws_structure fp then Some w else None
+      | None -> Hashtbl.find_opt t.memory fp
+    in
+    let sol =
+      match hint with
+      | Some w when params.init_scale = 1.0 ->
+          let attempt = solve ~params:(warm_budget params) ~warm:w prob in
+          if attempt.status = Optimal then begin
+            t.warm_accepted <- t.warm_accepted + 1;
+            incr warm_accepted_total;
+            attempt
+          end
+          else begin
+            t.warm_rejected <- t.warm_rejected + 1;
+            incr warm_rejected_total;
+            t.cold_solves <- t.cold_solves + 1;
+            incr cold_total;
+            solve ~params prob
+          end
+      | _ ->
+          t.cold_solves <- t.cold_solves + 1;
+          incr cold_total;
+          solve ~params prob
+    in
+    remember t prob sol;
+    sol
+end
 
 let feasibility_margin p sol =
   let worst = ref 0.0 in

@@ -115,10 +115,96 @@ type params = {
 
 val default_params : params
 
-val solve : ?params:params -> problem -> solution
+type warm_start
+(** A warm-start capsule: a strictly-feasibility-shiftable iterate
+    [(X, S, y, f)] from a prior solution, tagged with the
+    {!structure_fingerprint} of the problem it came from. Capsules are
+    pure data (no closures) and survive [Marshal], so they can be
+    shipped to forked workers. *)
+
+val structure_fingerprint : problem -> string
+(** Hex digest of the problem's {e shape} only: block dimensions, free
+    variable count, and the sparsity pattern (positions, not values) of
+    every constraint and the objective. Neighbouring sweep points and
+    bisection rungs differ only in entry values, so they share a
+    structure fingerprint — the key under which warm-start capsules are
+    exchanged. *)
+
+val warm_start_of_solution : problem -> solution -> warm_start option
+(** Package a solution of [problem] as a warm-start capsule, or [None]
+    when the iterate is unusable (dimension mismatch, non-finite
+    entries). *)
+
+val warm_start_structure : warm_start -> string
+(** The {!structure_fingerprint} the capsule was recorded under. *)
+
+val solve : ?params:params -> ?warm:warm_start -> problem -> solution
 (** Solve the SDP. Never raises on numerical trouble; inspect
     [solution.status]. Raises [Invalid_argument] on malformed input
-    (out-of-range indices, [row > col]). *)
+    (out-of-range indices, [row > col]).
+
+    [warm], when present and matching this problem's
+    {!structure_fingerprint}, seeds the interior-point iteration from
+    the capsule's iterate shifted strictly inside the cone; a
+    mismatched or numerically unsound capsule is silently ignored
+    (cold start), so hints can never change what is solvable. Most
+    callers should prefer {!Session.solve}, which adds the
+    accept-only-[Optimal] fallback discipline. *)
+
+(** Stateful solver sessions: remember the last clean solution per
+    problem structure and warm-start subsequent solves of the same
+    shape (bisection rungs, sweep continuation). The discipline that
+    keeps sessions invisible to callers: a warm attempt runs on a
+    reduced iteration budget and is accepted only when [Optimal] —
+    anything else triggers a cold re-solve with the caller's exact
+    params, so statuses, salvage scores, and failure diagnoses are
+    always those of an honest solve. Only clean solutions ([Optimal]
+    with no injected faults) are remembered, and jitter rungs
+    ([init_scale <> 1.0]) skip hints since they exist to start from a
+    {e different} point. *)
+module Session : sig
+  type t
+
+  type counters = {
+    warm_accepted : int;  (** warm attempts that converged and were kept *)
+    warm_rejected : int;  (** warm attempts discarded for a cold re-solve *)
+    cold_solves : int;  (** solves run cold (no hint, or after rejection) *)
+  }
+
+  val create : ?params:params -> unit -> t
+  (** Fresh session with no memory. [params] (default {!default_params})
+      is the fallback when {!solve} is called without [?params]. *)
+
+  val totals : unit -> counters
+  (** Process-wide counter sums across every session — benchmark and
+      report accounting (sessions are created deep inside per-phase
+      configs, so the global sum is the cheap outside view). *)
+
+  val params : t -> params
+
+  val counters : t -> counters
+
+  val solve : t -> ?hint:warm_start -> ?params:params -> problem -> solution
+  (** Solve through the session. The hint used is [?hint] when its
+      structure matches the problem, else the session's remembered
+      capsule for this structure, else none (cold). The returned
+      solution is remembered for future solves when clean. *)
+
+  val hint_for : t -> problem -> warm_start option
+  (** The capsule the session would use for this problem, if any —
+      callers that dispatch solves to external workers ({!Supervise})
+      fetch it here and ship it alongside the problem. *)
+
+  val remember : t -> problem -> solution -> unit
+  (** Feed an externally-obtained solution (cache hit, forked worker
+      result) into the session's memory; ignored unless clean. *)
+
+  val remember_capsule : t -> warm_start -> unit
+  (** Feed a ready-made capsule into the session's memory — the path
+      for pool workers, which marshal capsules back to the parent
+      because live solutions' problems stay in the child. The producer
+      must only capture clean ([Optimal], fault-free) solves. *)
+end
 
 val canonical_serialization : ?params:params -> problem -> string
 (** Canonical, byte-deterministic text form of a solve request: the
@@ -137,6 +223,11 @@ val fingerprint : ?params:params -> problem -> string
 val solve_count : unit -> int
 (** Process-wide number of {!solve} calls so far (cheap throughput
     accounting for benchmarks and supervision reports). *)
+
+val iteration_count : unit -> int
+(** Process-wide number of interior-point iterations attempted so far —
+    the warm-start payoff shows up here (and in [bench ab] deltas) even
+    when solve counts are unchanged. *)
 
 val to_sdpa : problem -> string
 (** Serialize the problem in the sparse SDPA format (.dat-s), the lingua

@@ -279,7 +279,34 @@ let to_sdp p =
       obj_free;
     } )
 
-let solve ?solver ?params ?(psd_tol = 1e-7) ?(eq_tol = 1e-5) p =
+module Options = struct
+  type solver_fn = ?params:Sdp.params -> Sdp.problem -> Sdp.solution
+
+  type t = {
+    solver : solver_fn option;
+    params : Sdp.params option;
+    psd_tol : float;
+    eq_tol : float;
+    session : Sdp.Session.t option;
+    hint : Sdp.warm_start option;
+  }
+
+  let default =
+    {
+      solver = None;
+      params = None;
+      psd_tol = 1e-7;
+      eq_tol = 1e-5;
+      session = None;
+      hint = None;
+    }
+
+  let make ?solver ?params ?(psd_tol = 1e-7) ?(eq_tol = 1e-5) ?session ?hint () =
+    { solver; params; psd_tol; eq_tol; session; hint }
+end
+
+let solve ?(options = Options.default) p =
+  let psd_tol = options.Options.psd_tol and eq_tol = options.Options.eq_tol in
   (* Inconsistent constant equalities make the problem trivially infeasible. *)
   let trivially_infeasible =
     List.exists
@@ -294,9 +321,17 @@ let solve ?solver ?params ?(psd_tol = 1e-7) ?(eq_tol = 1e-5) p =
            (Array.to_list (Array.map string_of_int sdp_prob.Sdp.block_dims)))
         p.n_free);
   let sdp =
-    match solver with
-    | Some solve -> solve ?params sdp_prob
-    | None -> Sdp.solve ?params sdp_prob
+    (* Dispatch precedence: an injected solver (the supervision boundary)
+       owns the whole numeric solve — it receives session and hint
+       through its own closure, not from here; otherwise a session, when
+       present, adds warm-start discipline around [Sdp.solve]. *)
+    match (options.Options.solver, options.Options.session) with
+    | Some solve, _ -> solve ?params:options.Options.params sdp_prob
+    | None, Some sess ->
+        Sdp.Session.solve sess ?hint:options.Options.hint
+          ?params:options.Options.params sdp_prob
+    | None, None ->
+        Sdp.solve ?params:options.Options.params ?warm:options.Options.hint sdp_prob
   in
   let assign = function
     | Dvar.Free k -> sdp.Sdp.f.(k)
@@ -333,6 +368,11 @@ let solve ?solver ?params ?(psd_tol = 1e-7) ?(eq_tol = 1e-5) p =
     min_gram_eig;
     max_eq_residual;
   }
+
+(* Deprecated scattered-optional-arg surface, kept so external callers
+   keep compiling across the Options migration. *)
+let solve_legacy ?solver ?params ?psd_tol ?eq_tol p =
+  solve ~options:(Options.make ?solver ?params ?psd_tol ?eq_tol ()) p
 
 let value sol pp = Ppoly.value sol.assign pp
 

@@ -97,19 +97,66 @@ type solution = {
   max_eq_residual : float;  (** worst equality-constraint violation *)
 }
 
-val solve :
-  ?solver:(?params:Sdp.params -> Sdp.problem -> Sdp.solution) ->
+(** Everything that can vary about how a SOS problem is solved, in one
+    record — the single point of configuration for {!solve} (replacing
+    the scattered [?solver/?params/?psd_tol/?eq_tol] optional
+    arguments). *)
+module Options : sig
+  type solver_fn = ?params:Sdp.params -> Sdp.problem -> Sdp.solution
+
+  type t = {
+    solver : solver_fn option;
+        (** replaces the inner [Sdp.solve] call — the injection point
+            through which {!Supervise} runs the numeric solve in an
+            isolated worker process; the SOS-level reconstruction and
+            certificate check still run in the caller. When set, it owns
+            the whole numeric solve: [session]/[hint] below are ignored
+            here and must be threaded through the solver's own closure. *)
+    params : Sdp.params option;  (** interior-point parameters *)
+    psd_tol : float;
+        (** a posteriori Gram PSD tolerance for [certified]; default 1e-7 *)
+    eq_tol : float;
+        (** a posteriori equality-residual tolerance (relative to
+            constraint scale); default 1e-5 *)
+    session : Sdp.Session.t option;
+        (** warm-start session wrapped around [Sdp.solve] when no
+            [solver] is injected *)
+    hint : Sdp.warm_start option;
+        (** explicit warm-start capsule, overriding the session's
+            remembered one when its structure matches *)
+  }
+
+  val default : t
+  (** No injected solver, default params/tolerances, no session. *)
+
+  val make :
+    ?solver:solver_fn ->
+    ?params:Sdp.params ->
+    ?psd_tol:float ->
+    ?eq_tol:float ->
+    ?session:Sdp.Session.t ->
+    ?hint:Sdp.warm_start ->
+    unit ->
+    t
+end
+
+val solve : ?options:Options.t -> t -> solution
+(** Translate to an SDP, solve, and validate. All solver configuration
+    lives in [options] (default {!Options.default}); see {!Options.t}
+    for the dispatch precedence between an injected solver and a
+    warm-start session. *)
+
+val solve_legacy :
+  ?solver:Options.solver_fn ->
   ?params:Sdp.params ->
   ?psd_tol:float ->
   ?eq_tol:float ->
   t ->
   solution
-(** Translate to an SDP, solve, and validate. [psd_tol] (default 1e-7)
-    and [eq_tol] (default 1e-5, relative to constraint scale) control the a posteriori certificate
-    check reflected in [certified]. [solver] replaces the inner [Sdp.solve]
-    call — the injection point through which {!Supervise} runs the numeric
-    solve in an isolated worker process; the SOS-level reconstruction and
-    certificate check still run in the caller. Defaults to [Sdp.solve]. *)
+  [@@ocaml.deprecated "use Sos.solve ?options with Sos.Options.make"]
+(** Pre-[Options] surface, equivalent to [solve ~options:(Options.make
+    ?solver ?params ?psd_tol ?eq_tol ())]. New code should build an
+    {!Options.t}. *)
 
 val value : solution -> Ppoly.t -> Poly.t
 (** Instantiate a parametric polynomial under the solution. *)

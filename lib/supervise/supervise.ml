@@ -687,7 +687,7 @@ type worker_outcome =
 (* Fork, solve in the child, marshal the solution back through a temp
    file; reap on wall-clock timeout or interrupt. The child exits with
    [Unix._exit] so no parent at_exit/flush machinery runs twice. *)
-let run_forked ctx ~proc_fault ~params prob =
+let run_forked ctx ~proc_fault ?hint ~params prob =
   let file = temp_result_file ctx in
   flush stdout;
   flush stderr;
@@ -699,8 +699,16 @@ let run_forked ctx ~proc_fault ~params prob =
       | Some mb -> ignore (set_mem_limit_mb mb)
       | None -> ());
       let params = inject_proc_fault proc_fault params in
+      (* The warm-start hint crosses the fork as inherited memory — no
+         serialization needed. A throwaway session applies the standard
+         discipline (bounded warm attempt, cold re-solve unless Optimal). *)
       let result =
-        try Ok (Sdp.solve ~params prob) with e -> Error (Printexc.to_string e)
+        try
+          Ok
+            (match hint with
+            | Some w -> Sdp.Session.solve (Sdp.Session.create ()) ~hint:w ~params prob
+            | None -> Sdp.solve ~params prob)
+        with e -> Error (Printexc.to_string e)
       in
       (try write_result file result with _ -> ());
       Unix._exit 0
@@ -777,12 +785,16 @@ let status_string = function
 (* The supervised solve                                               *)
 (* ------------------------------------------------------------------ *)
 
-let solve_sdp ctx ~label ?proc_fault ?(params = Sdp.default_params) prob =
+let solve_sdp ctx ~label ?proc_fault ?session ?hint ?(params = Sdp.default_params) prob =
   check_interrupt ctx;
   let st = ctx.stats in
   st.supervised <- st.supervised + 1;
   ctx.seq <- ctx.seq + 1;
   let seq = ctx.seq in
+  (* The cache key deliberately excludes [session]/[hint]: hints change
+     the iterate path, never which request is being answered, so a
+     cached result replays byte-identically whether or not the original
+     solve was warm-started. *)
   let key = Sdp.fingerprint ~params prob in
   let cached =
     match ctx.cache_ with
@@ -801,6 +813,9 @@ let solve_sdp ctx ~label ?proc_fault ?(params = Sdp.default_params) prob =
   match cached with
   | Some sol ->
       st.cache_hits <- st.cache_hits + 1;
+      (* Replayed results still feed the session, so a resumed run
+         rebuilds the same warm-start memory the original run had. *)
+      (match session with Some s -> Sdp.Session.remember s prob sol | None -> ());
       (match ctx.journal with
       | Some j when not ctx.in_worker ->
           Journal.record_done j ~seq ~key ~source:"cache"
@@ -811,14 +826,25 @@ let solve_sdp ctx ~label ?proc_fault ?(params = Sdp.default_params) prob =
       (match ctx.journal with
       | Some j when not ctx.in_worker -> Journal.record_start j ~seq ~key ~label
       | _ -> ());
+      let hint =
+        match hint with
+        | Some _ -> hint
+        | None -> ( match session with Some s -> Sdp.Session.hint_for s prob | None -> None)
+      in
       let t0 = Unix.gettimeofday () in
       let sol, source =
         if ctx.in_worker || not ctx.isolate then begin
           st.inline_solves <- st.inline_solves + 1;
-          (Sdp.solve ~params prob, "solved")
+          ( (match session with
+            | Some s -> Sdp.Session.solve s ?hint ~params prob
+            | None -> (
+                match hint with
+                | Some w -> Sdp.Session.solve (Sdp.Session.create ()) ~hint:w ~params prob
+                | None -> Sdp.solve ~params prob)),
+            "solved" )
         end
         else
-          match run_forked ctx ~proc_fault ~params prob with
+          match run_forked ctx ~proc_fault ?hint ~params prob with
           | W_done sol -> (sol, "solved")
           | W_crashed why ->
               st.crashes <- st.crashes + 1;
@@ -832,6 +858,11 @@ let solve_sdp ctx ~label ?proc_fault ?(params = Sdp.default_params) prob =
               (failed_solution Sdp.Max_iterations prob, "timeout")
       in
       let wall_s = Unix.gettimeofday () -. t0 in
+      (* Forked results reach the parent's session here (the inline path
+         already remembered through [Session.solve]); [remember] itself
+         keeps only clean Optimal solutions. *)
+      (if source = "solved" then
+         match session with Some s -> Sdp.Session.remember s prob sol | None -> ());
       (* Only clean, uninterrupted solves are cached: a result shaped by
          an injected fault or a deadline interrupt is not a function of
          the request alone. *)

@@ -271,6 +271,8 @@ val solve_sdp :
   ctx ->
   label:string ->
   ?proc_fault:Fault.spec ->
+  ?session:Sdp.Session.t ->
+  ?hint:Sdp.warm_start ->
   ?params:Sdp.params ->
   Sdp.problem ->
   Sdp.solution
@@ -284,7 +286,17 @@ val solve_sdp :
     with [best_score = infinity] so they are never salvaged — letting
     the caller's retry ladder escalate exactly as for in-process
     failures. Never raises on worker trouble; raises {!Interrupted} only
-    after {!interrupt}. *)
+    after {!interrupt}.
+
+    [session]/[hint] add warm-start support without touching the cache
+    identity: the fingerprint is computed from [(params, problem)]
+    alone, so whether a result was produced warm or cold never changes
+    which cache entry answers the request — [-jN] and [--resume]
+    determinism are preserved. The hint (explicit, or the session's
+    remembered capsule for this structure) crosses the worker fork as
+    inherited memory; the worker applies the standard session
+    discipline, and the parent feeds clean results (including cache
+    replays) back into [session]'s memory. *)
 
 val save_artifact : ctx -> name:string -> string -> string option
 (** Atomically persist serialized proof-artifact text under

@@ -391,6 +391,121 @@ let test_equilibration () =
     (Sdp.feasibility_margin p sol < 1e-5);
   check_float "X01 recovered" 1.0 (Mat.get sol.Sdp.x_blocks.(0) 0 1)
 
+(* ------------------------------------------------------------------ *)
+(* Stateful sessions: warm/cold agreement, fingerprint discipline, and
+   the mismatch fallback that keeps hints invisible to callers. *)
+
+(* A one-parameter family sharing one structure: extract lambda_min of
+   A(t) = A + t*B via a free variable. Every member has the same sparsity
+   pattern (only values move), so they share a structure fingerprint. *)
+let eig_family t =
+  let a =
+    Mat.of_arrays
+      [|
+        [| 2.0 +. t; 1.0 -. (0.3 *. t); 0.2 |];
+        [| 1.0 -. (0.3 *. t); 3.0 +. (0.5 *. t); 0.5 |];
+        [| 0.2; 0.5; 1.5 +. (0.2 *. t) |];
+      |]
+  in
+  let constraints = ref [] in
+  for i = 0 to 2 do
+    for j = i to 2 do
+      let w = if i = j then 1.0 else 0.5 in
+      let lhs = [ entry 0 i j w ] in
+      let free = if i = j then [ (0, 1.0) ] else [] in
+      constraints := { Sdp.lhs; free; rhs = Mat.get a i j } :: !constraints
+    done
+  done;
+  ( a,
+    {
+      Sdp.block_dims = [| 3 |];
+      n_free = 1;
+      constraints = Array.of_list (List.rev !constraints);
+      obj_blocks = [];
+      obj_free = [ (0, -1.0) ];
+    } )
+
+(* Sweeping the family through one session must agree with cold solves:
+   same statuses, same objectives — the accept-only-Optimal discipline
+   makes warm starts unobservable except in the counters. *)
+let test_session_warm_vs_cold () =
+  let sess = Sdp.Session.create () in
+  List.iter
+    (fun t ->
+      let a, p = eig_family t in
+      let cold = Sdp.solve p in
+      let warm = Sdp.Session.solve sess p in
+      Alcotest.(check bool) "both Optimal" true
+        (cold.Sdp.status = Sdp.Optimal && warm.Sdp.status = Sdp.Optimal);
+      check_float "objective agrees" cold.Sdp.primal_obj warm.Sdp.primal_obj;
+      check_float "lambda_min" (Mat.min_eig a) warm.Sdp.f.(0))
+    [ 0.0; 0.05; 0.1; 0.15; 0.2 ];
+  let c = Sdp.Session.counters sess in
+  Alcotest.(check int) "every solve accounted" 5 (c.Sdp.Session.warm_accepted + c.Sdp.Session.cold_solves);
+  Alcotest.(check bool) "continuation actually warm" true (c.Sdp.Session.warm_accepted >= 2)
+
+(* The structure fingerprint ignores values (family members share it) and
+   capsules are keyed by it; the cache fingerprint is a pure function of
+   the problem, identical whether the solve that produced it was warm. *)
+let test_fingerprint_hint_invariance () =
+  let _, p0 = eig_family 0.0 in
+  let _, p1 = eig_family 0.25 in
+  Alcotest.(check string) "family shares structure" (Sdp.structure_fingerprint p0)
+    (Sdp.structure_fingerprint p1);
+  let full0 = Sdp.fingerprint p0 in
+  let sol0 = Sdp.solve p0 in
+  let w = Option.get (Sdp.warm_start_of_solution p0 sol0) in
+  Alcotest.(check string) "capsule keyed by structure" (Sdp.structure_fingerprint p0)
+    (Sdp.warm_start_structure w);
+  let _warm = Sdp.solve ~warm:w p1 in
+  Alcotest.(check string) "cache fingerprint unmoved by hints" full0 (Sdp.fingerprint p0);
+  Alcotest.(check bool) "value changes do move the cache key" true
+    (Sdp.fingerprint p0 <> Sdp.fingerprint p1)
+
+(* A hint whose structure does not match the problem must be ignored:
+   the solve falls back to cold and still succeeds. *)
+let test_session_structure_mismatch_cold () =
+  let sess = Sdp.Session.create () in
+  let _, pa = eig_family 0.0 in
+  let _ = Sdp.Session.solve sess pa in
+  let hint = Option.get (Sdp.Session.hint_for sess pa) in
+  (* Structurally different: the 2-block LP from test_lp_diag. *)
+  let pb =
+    {
+      Sdp.block_dims = [| 1; 1 |];
+      n_free = 0;
+      constraints =
+        [| { Sdp.lhs = [ entry 0 0 0 1.0; entry 1 0 0 2.0 ]; free = []; rhs = 3.0 } |];
+      obj_blocks = [ entry 0 0 0 1.0; entry 1 0 0 1.0 ];
+      obj_free = [];
+    }
+  in
+  let before = Sdp.Session.counters sess in
+  let sol = Sdp.Session.solve sess ~hint pb in
+  let after = Sdp.Session.counters sess in
+  Alcotest.(check bool) "solved despite bogus hint" true (sol.Sdp.status = Sdp.Optimal);
+  check_float "objective" 1.5 sol.Sdp.primal_obj;
+  Alcotest.(check int) "fell back cold" (before.Sdp.Session.cold_solves + 1)
+    after.Sdp.Session.cold_solves;
+  Alcotest.(check int) "no warm attempt on mismatch" before.Sdp.Session.warm_accepted
+    after.Sdp.Session.warm_accepted
+
+(* Capsules produced elsewhere (pool workers) feed back via
+   [remember_capsule] and warm the next same-structure solve. *)
+let test_session_remember_capsule () =
+  let _, p0 = eig_family 0.0 in
+  let sol0 = Sdp.solve p0 in
+  let w = Option.get (Sdp.warm_start_of_solution p0 sol0) in
+  let sess = Sdp.Session.create () in
+  Sdp.Session.remember_capsule sess w;
+  let a1, p1 = eig_family 0.1 in
+  let sol1 = Sdp.Session.solve sess p1 in
+  Alcotest.(check bool) "solved" true (sol1.Sdp.status = Sdp.Optimal);
+  check_float "lambda_min" (Mat.min_eig a1) sol1.Sdp.f.(0);
+  let c = Sdp.Session.counters sess in
+  Alcotest.(check int) "capsule warmed the solve" 1 c.Sdp.Session.warm_accepted;
+  Alcotest.(check int) "no cold solve needed" 0 c.Sdp.Session.cold_solves
+
 let suite =
   [
     Alcotest.test_case "sdpa export" `Quick test_to_sdpa;
@@ -411,4 +526,11 @@ let suite =
     Alcotest.test_case "infeasible detection" `Quick test_infeasible;
     Alcotest.test_case "correlation bound" `Quick test_correlation;
     Alcotest.test_case "dual feasibility" `Quick test_dual_feasibility;
+    Alcotest.test_case "session: warm agrees with cold" `Quick test_session_warm_vs_cold;
+    Alcotest.test_case "session: fingerprints ignore hints" `Quick
+      test_fingerprint_hint_invariance;
+    Alcotest.test_case "session: mismatched hint falls back cold" `Quick
+      test_session_structure_mismatch_cold;
+    Alcotest.test_case "session: remember_capsule warms" `Quick
+      test_session_remember_capsule;
   ]

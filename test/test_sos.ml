@@ -208,6 +208,44 @@ let test_objective_scale_expr () =
   Alcotest.(check bool) "certified" true sol.Sos.certified;
   Alcotest.(check (float 1e-6)) "optimum" 2.0 sol.Sos.objective
 
+(* fig2-family warm/cold agreement: inclusion-style S-procedure checks
+   over the third-order PLL's mode domains (the exact problem shape the
+   advection loop fans out every iteration), swept through one session.
+   Warm solves must certify exactly what cold solves certify. *)
+let test_session_fig2_family () =
+  let s = Pll.scale Pll.table1_third in
+  let n = s.Pll.nvars in
+  let ball r =
+    let sq = ref (Poly.const n (-.(r *. r))) in
+    for i = 0 to n - 1 do
+      let e = List.init n (fun j -> if j = i then 2 else 0) in
+      sq :=
+        Poly.add !sq (Poly.of_terms n [ (Poly.Monomial.of_exponents e, 1.0) ])
+    done;
+    !sq
+  in
+  let sess = Sdp.Session.create () in
+  let contained ?session r_in r_out =
+    (* S(ball r_in) ∩ D_0 inside the r_out ball — the Line-6 check shape. *)
+    let prob = Sos.create ~nvars:n in
+    Sos.add_nonneg_on ~mult_deg:2 prob
+      ~domain:(Poly.neg (ball r_in) :: Pll.mode_domain s 0)
+      (Sos.Ppoly.of_poly (Poly.neg (ball r_out)));
+    let options = Sos.Options.make ?session () in
+    (Sos.solve ~options prob).Sos.certified
+  in
+  List.iter
+    (fun r ->
+      let cold = contained r 1.0 in
+      let warm = contained ~session:sess r 1.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "verdict agrees at r=%g" r)
+        cold warm;
+      Alcotest.(check bool) (Printf.sprintf "certifies at r=%g" r) true warm)
+    [ 0.2; 0.25; 0.3; 0.35 ];
+  let c = Sdp.Session.counters sess in
+  Alcotest.(check bool) "sweep actually warm" true (c.Sdp.Session.warm_accepted >= 1)
+
 let suite =
   [
     Alcotest.test_case "lexpr ops" `Quick test_lexpr_ops;
@@ -226,4 +264,6 @@ let suite =
     Alcotest.test_case "lyapunov linear 2d" `Quick test_lyapunov_linear;
     Alcotest.test_case "lyapunov cubic" `Quick test_lyapunov_cubic;
     Alcotest.test_case "sos witness" `Quick test_sos_witness;
+    Alcotest.test_case "session: fig2-family warm/cold verdicts" `Quick
+      test_session_fig2_family;
   ]
